@@ -1,0 +1,27 @@
+// Table II — execution time on each system with and without migration.
+// JDK column anchors calibration; protocol overheads are emergent (see
+// EXPERIMENTS.md for the calibration policy).
+#include <cstdio>
+
+#include "sodee/experiment.h"
+#include "support/table.h"
+
+using namespace sod;
+
+int main() {
+  std::printf("=== Table II: execution time (s) with and without migration ===\n");
+  Table t({"App", "JDK", "SODEE no-mig", "SODEE mig", "G-JavaMPI no-mig", "G-JavaMPI mig",
+           "JESSICA2 no-mig", "JESSICA2 mig", "Xen no-mig", "Xen mig"});
+  for (const apps::AppSpec& spec : apps::table1_apps()) {
+    sodee::MeasuredApp m = sodee::measure_app(spec);
+    sodee::OverheadRow r = sodee::overhead_row(m);
+    t.row({r.app, fmt("%.2f", r.jdk_s), fmt("%.2f", r.sodee_nomig_s), fmt("%.2f", r.sodee_mig_s),
+           fmt("%.2f", r.gj_nomig_s), fmt("%.2f", r.gj_mig_s), fmt("%.2f", r.j2_nomig_s),
+           fmt("%.2f", r.j2_mig_s), fmt("%.2f", r.xen_nomig_s), fmt("%.2f", r.xen_mig_s)});
+  }
+  t.print();
+  std::printf(
+      "\nPaper reference (s): Fib 12.10/12.13/12.19 | NQ 6.26/6.38/6.41 | "
+      "FFT 12.39/12.60/12.71 | TSP 2.92/3.04/3.22 (JDK/SODEE no-mig/mig)\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Table III — migration overhead (ms and % of no-migration runtime) per
+// system.  Expected shape: SODEE lowest everywhere except TSP (eager copy
+// wins when the migrated frame touches every object); Xen seconds-scale.
+#include <cstdio>
+
+#include "sodee/experiment.h"
+#include "support/table.h"
+
+using namespace sod;
+
+int main() {
+  std::printf("=== Table III: migration overhead (ms, %% of no-mig runtime) ===\n");
+  Table t({"App", "SODEE", "G-JavaMPI", "JESSICA2", "Xen"});
+  for (const apps::AppSpec& spec : apps::table1_apps()) {
+    sodee::MeasuredApp m = sodee::measure_app(spec);
+    sodee::OverheadRow r = sodee::overhead_row(m);
+    auto cell = [](double ms, double base_s) {
+      return fmt("%.0f (%.2f%%)", ms, ms / (base_s * 1e3) * 100.0);
+    };
+    t.row({r.app, cell(r.sodee_overhead_ms(), r.sodee_nomig_s),
+           cell(r.gj_overhead_ms(), r.gj_nomig_s), cell(r.j2_overhead_ms(), r.j2_nomig_s),
+           cell(r.xen_overhead_ms(), r.xen_nomig_s)});
+  }
+  t.print();
+  std::printf(
+      "\nPaper reference (ms): Fib 52/156/123/3695 | NQ 32/307/195/4906 | "
+      "FFT 105/2544/2494/7160 | TSP 178/142/922/6450 (SODEE/G-JavaMPI/JESSICA2/Xen)\n"
+      "Shape: SODEE lowest on Fib/NQ/FFT; G-JavaMPI wins TSP; Xen worst everywhere.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: build a guest program, preprocess it for migration, run it
+// on a "home" node, pause mid-computation at a migration-safe point,
+// offload the top stack frame to a second node, and resume at home with
+// the remote result — the minimal end-to-end SOD loop.
+#include <cstdio>
+
+#include "bytecode/builder.h"
+#include "bytecode/disasm.h"
+#include "prep/prep.h"
+#include "sod/migrate.h"
+
+using namespace sod;
+using bc::Label;
+using bc::Ty;
+using bc::Value;
+
+int main() {
+  // 1. Write a guest program with the builder (this plays javac).
+  bc::ProgramBuilder pb;
+  auto& f = pb.cls("Demo").method("fib", {{"n", Ty::I64}}, Ty::I64);
+  Label rec = f.label();
+  f.stmt().iload("n").iconst(2).if_icmpge(rec);
+  f.stmt().iload("n").iret();
+  f.bind(rec);
+  uint16_t a = f.local("a", Ty::I64);
+  uint16_t b = f.local("b", Ty::I64);
+  f.stmt().iload("n").iconst(1).isub().invoke("Demo.fib").istore(a);
+  f.stmt().iload("n").iconst(2).isub().invoke("Demo.fib").istore(b);
+  f.stmt().iload(a).iload(b).iadd().iret();
+  bc::Program prog = pb.build();
+
+  // 2. Preprocess: establish migration-safe points, inject restoration
+  //    handlers and object-fault handlers (the paper's class preprocessor).
+  prep::PrepReport rep = prep::preprocess_program(prog);
+  std::printf("preprocessed: image %zu -> %zu bytes, %d fault handlers\n\n",
+              rep.image_size_before, rep.image_size_after, rep.faults.fault_handlers);
+  std::printf("%s\n", bc::disasm_method(prog, prog.method(prog.find_method("Demo.fib"))).c_str());
+
+  // 3. Two nodes on a simulated Gigabit link.
+  mig::SodNode home("home", prog, {});
+  mig::SodNode cloud("cloud", prog, {});
+
+  // 4. Run at home until the recursion is 8 frames deep.
+  uint16_t fib = prog.find_method("Demo.fib");
+  int tid = home.vm().spawn(fib, std::vector<Value>{Value::of_i64(25)});
+  mig::pause_at_depth(home, tid, fib, 8);
+  std::printf("paused at depth %zu; offloading the top frame to %s...\n",
+              home.vm().thread(tid).frames.size(), cloud.name().c_str());
+
+  // 5. Offload the top frame: capture -> transfer -> restore -> execute ->
+  //    write-back; home's stack shrinks by one and resumes seamlessly.
+  auto out = mig::offload_and_return(home, tid, 1, cloud, sim::Link::gigabit());
+  std::printf("migration latency: capture %.3f ms + transfer %.3f ms + restore %.3f ms\n",
+              out.timing.capture.ms(), out.timing.transfer.ms(), out.timing.restore.ms());
+  std::printf("remote segment returned %lld; home resumes the residual stack\n",
+              static_cast<long long>(out.result.as_i64()));
+
+  home.ti().set_debug_enabled(false);
+  home.run_guest(tid);
+  std::printf("final result at home: fib(25) = %lld\n",
+              static_cast<long long>(home.vm().thread(tid).result.as_i64()));
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Guest applications — the paper's benchmark programs (Table I) plus the
+// document-search and photo-share workloads of Sections IV.C/IV.D, written
+// against the SODEE bytecode builder.
+//
+// Each app provides:
+//   - build():     the unpreprocessed program (callers run prep on it)
+//   - bench-scale entry + args + expected result (real interpreted runs,
+//     used by tests and the real-time micro benches)
+//   - paper-scale args + the trigger (method, depth) at which the paper's
+//     migration fires, used by the virtual-time experiments; reaching the
+//     trigger is cheap even at paper scale (leftmost descent)
+//   - Table I characteristics (n, h, F) and the measured Sun-JDK runtime
+//     from Table II used as the virtual-time calibration anchor
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bytecode/builder.h"
+
+namespace sod::apps {
+
+using bc::Ty;
+using bc::Value;
+
+struct AppSpec {
+  std::string name;
+  std::function<bc::Program()> build;
+
+  std::string entry;                ///< qualified entry method
+  std::vector<Value> bench_args;    ///< scaled-down, runs in tests
+  int64_t bench_expected = 0;       ///< expected entry result at bench scale
+
+  std::vector<Value> paper_args;    ///< paper-scale args (Table I "n")
+  std::string trigger_method;       ///< method whose entry triggers migration
+  int paper_depth = 1;              ///< stack height h at migration (Table I)
+  double paper_jdk_seconds = 0;     ///< Table II "JDK" column (calibration)
+  int64_t paper_n = 0;              ///< Table I problem size
+  const char* paper_F = "";         ///< Table I accumulated field size
+};
+
+AppSpec fib_app();        ///< n-th Fibonacci, recursive (n=46, h=46, F<10)
+AppSpec nqueens_app();    ///< n-queens, recursive (n=14, h=16, F<10)
+AppSpec fft_app();        ///< n-point 2-D FFT, >64 MB statics (n=256, h=4)
+AppSpec tsp_app();        ///< travelling salesman B&B (n=12, h=4, F~2500)
+
+/// All four Table I apps in declaration order.
+std::vector<AppSpec> table1_apps();
+
+/// Document search over the simulated fs (Section IV.C): searches `nfiles`
+/// files named "doc0".."docN" for a needle; returns hit count.
+/// Entry: Search.run(nfiles) ; per-file method: Search.search_one(idx).
+bc::Program build_docsearch();
+
+/// Photo-share server (Section IV.D): Photo.find(count) lists photos on
+/// the device fs; Photo.fetch(idx) returns one photo's data string.
+/// Entry wrappers live in class Photo.
+bc::Program build_photoshare();
+
+}  // namespace sod::apps

@@ -1,0 +1,64 @@
+// Document search (Section IV.C): full-text search for a needle over a
+// set of large files read through the simulated file system.  Locality is
+// everything: local-disk reads vs NFS reads is what migration buys.
+#include "apps/apps.h"
+#include "sfs/sfs.h"
+#include "svm/natives.h"
+
+namespace sod::apps {
+
+bc::Program build_docsearch() {
+  bc::ProgramBuilder pb;
+  svm::declare_stdlib(pb);
+  sfs::declare_fs_natives(pb);
+
+  auto& cls = pb.cls("Search");
+
+  // search_one(idx): scan file #idx chunk by chunk; returns 1 if found.
+  {
+    auto& f = cls.method("search_one", {{"idx", Ty::I64}, {"needle", Ty::Ref}}, Ty::I64);
+    uint16_t name = f.local("name", Ty::Ref);
+    uint16_t h = f.local("h", Ty::I64);
+    uint16_t chunk = f.local("chunk", Ty::Ref);
+    uint16_t at = f.local("at", Ty::I64);
+    bc::Label loop = f.label(), eof = f.label(), found = f.label();
+    f.stmt().iload("idx").invokenative("fs.file_by_index").astore(name);
+    f.stmt().aload(name).invokenative("fs.open").istore(h);
+    f.bind(loop).stmt().iload(h).invokenative("fs.read_chunk").astore(chunk);
+    f.stmt().aload(chunk).ifnull(eof);
+    f.stmt().aload(chunk).aload("needle").iconst(0).invokenative("str.find").istore(at);
+    f.stmt().iload(at).iconst(0).if_icmpge(found);
+    f.stmt().go(loop);
+    f.bind(found).stmt().iconst(1).iret();
+    f.bind(eof).stmt().iconst(0).iret();
+  }
+
+  // run(nfiles): search every file; returns number of hits.
+  {
+    auto& f = cls.method("run", {{"nfiles", Ty::I64}, {"needle", Ty::Ref}}, Ty::I64);
+    uint16_t i = f.local("i", Ty::I64);
+    uint16_t hits = f.local("hits", Ty::I64);
+    bc::Label loop = f.label(), done = f.label();
+    f.stmt().iconst(0).istore(i);
+    f.stmt().iconst(0).istore(hits);
+    f.bind(loop).stmt().iload(i).iload("nfiles").if_icmpge(done);
+    f.stmt().iload(hits).iload(i).aload("needle").invoke("Search.search_one").iadd()
+        .istore(hits);
+    f.stmt().iload(i).iconst(1).iadd().istore(i);
+    f.stmt().go(loop);
+    f.bind(done).stmt().iload(hits).iret();
+  }
+
+  // main(nfiles): needle fixed by the harness convention.
+  {
+    auto& m = cls.method("main", {{"nfiles", Ty::I64}}, Ty::I64);
+    uint16_t needle = m.local("needle", Ty::Ref);
+    uint16_t r = m.local("r", Ty::I64);
+    m.stmt().ldc_str("sodneedle").astore(needle);
+    m.stmt().iload("nfiles").aload(needle).invoke("Search.run").istore(r);
+    m.stmt().iload(r).iret();
+  }
+  return pb.build();
+}
+
+}  // namespace sod::apps

@@ -1,0 +1,57 @@
+// Fib — the deep-recursion benchmark (Table I: n=46, h=46, F<10 B).
+#include "apps/apps.h"
+
+namespace sod::apps {
+
+namespace {
+
+bc::Program build_fib() {
+  bc::ProgramBuilder pb;
+  auto& cls = pb.cls("Fib");
+  auto& f = cls.method("fib", {{"n", Ty::I64}}, Ty::I64);
+  bc::Label rec = f.label();
+  f.stmt().iload("n").iconst(2).if_icmpge(rec);
+  f.stmt().iload("n").iret();
+  f.bind(rec);
+  uint16_t a = f.local("a", Ty::I64);
+  uint16_t b = f.local("b", Ty::I64);
+  f.stmt().iload("n").iconst(1).isub().invoke("Fib.fib").istore(a);
+  f.stmt().iload("n").iconst(2).isub().invoke("Fib.fib").istore(b);
+  f.stmt().iload(a).iload(b).iadd().iret();
+
+  auto& m = cls.method("main", {{"n", Ty::I64}}, Ty::I64);
+  uint16_t r = m.local("r", Ty::I64);
+  m.stmt().iload("n").invoke("Fib.fib").istore(r);
+  m.stmt().iload(r).iret();
+  return pb.build();
+}
+
+int64_t fib_value(int64_t n) {
+  int64_t a = 0, b = 1;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t t = a + b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
+AppSpec fib_app() {
+  AppSpec s;
+  s.name = "Fib";
+  s.build = build_fib;
+  s.entry = "Fib.main";
+  s.bench_args = {Value::of_i64(24)};
+  s.bench_expected = fib_value(24);
+  s.paper_args = {Value::of_i64(46)};
+  s.trigger_method = "Fib.fib";
+  s.paper_depth = 46;
+  s.paper_jdk_seconds = 12.10;
+  s.paper_n = 46;
+  s.paper_F = "< 10";
+  return s;
+}
+
+}  // namespace sod::apps

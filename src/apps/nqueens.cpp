@@ -1,0 +1,79 @@
+// NQ — n-queens solved recursively with bitmask pruning
+// (Table I: n=14, h=16, F<10 B).
+#include "apps/apps.h"
+
+namespace sod::apps {
+
+namespace {
+
+bc::Program build_nqueens() {
+  bc::ProgramBuilder pb;
+  auto& cls = pb.cls("NQ");
+
+  // solve(n, row, cols, d1, d2) -> number of completions
+  auto& f = cls.method("solve",
+                       {{"n", Ty::I64},
+                        {"row", Ty::I64},
+                        {"cols", Ty::I64},
+                        {"d1", Ty::I64},
+                        {"d2", Ty::I64}},
+                       Ty::I64);
+  uint16_t count = f.local("count", Ty::I64);
+  uint16_t col = f.local("col", Ty::I64);
+  uint16_t bit = f.local("bit", Ty::I64);
+  uint16_t sub = f.local("sub", Ty::I64);
+  bc::Label not_done = f.label(), loop = f.label(), skip = f.label(), done = f.label();
+  f.stmt().iload("row").iload("n").if_icmplt(not_done);
+  f.stmt().iconst(1).iret();
+  f.bind(not_done);
+  f.stmt().iconst(0).istore(count);
+  f.stmt().iconst(0).istore(col);
+  f.bind(loop).stmt().iload(col).iload("n").if_icmpge(done);
+  // bit = 1 << col ; occupied if (cols | d1>>(row-?)…) — use shifted masks:
+  f.stmt().iconst(1).iload(col).ishl().istore(bit);
+  // if (cols & bit) or (d1 & (bit << row)) or (d2 & (bit << (n - 1 - row? ))) skip
+  // Use classic formulation: d1 indexed by col+row, d2 by col-row+n-1.
+  f.stmt().iload("cols").iload(bit).iand().ifne(skip);
+  f.stmt().iload("d1").iconst(1).iload(col).iload("row").iadd().ishl().iand().ifne(skip);
+  f.stmt().iload("d2").iconst(1).iload(col).iload("row").isub().iload("n").iadd().iconst(1).isub()
+      .ishl().iand().ifne(skip);
+  f.stmt()
+      .iload("n")
+      .iload("row").iconst(1).iadd()
+      .iload("cols").iload(bit).ior()
+      .iload("d1").iconst(1).iload(col).iload("row").iadd().ishl().ior()
+      .iload("d2").iconst(1).iload(col).iload("row").isub().iload("n").iadd().iconst(1).isub()
+          .ishl().ior()
+      .invoke("NQ.solve")
+      .istore(sub);
+  f.stmt().iload(count).iload(sub).iadd().istore(count);
+  f.bind(skip).stmt().iload(col).iconst(1).iadd().istore(col);
+  f.stmt().go(loop);
+  f.bind(done).stmt().iload(count).iret();
+
+  auto& m = cls.method("main", {{"n", Ty::I64}}, Ty::I64);
+  uint16_t r = m.local("r", Ty::I64);
+  m.stmt().iload("n").iconst(0).iconst(0).iconst(0).iconst(0).invoke("NQ.solve").istore(r);
+  m.stmt().iload(r).iret();
+  return pb.build();
+}
+
+}  // namespace
+
+AppSpec nqueens_app() {
+  AppSpec s;
+  s.name = "NQ";
+  s.build = build_nqueens;
+  s.entry = "NQ.main";
+  s.bench_args = {Value::of_i64(8)};
+  s.bench_expected = 92;
+  s.paper_args = {Value::of_i64(14)};
+  s.trigger_method = "NQ.solve";
+  s.paper_depth = 15;  // row frames + main; paper reports h=16
+  s.paper_jdk_seconds = 6.26;
+  s.paper_n = 14;
+  s.paper_F = "< 10";
+  return s;
+}
+
+}  // namespace sod::apps

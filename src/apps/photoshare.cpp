@@ -1,0 +1,74 @@
+// Photo-share web server (Section IV.D): the server-side task migrates
+// onto the phone to search its photo directory and fetch photo data, so
+// the device never runs server software.  The "photos" are files on the
+// device's simulated file system.
+#include "apps/apps.h"
+#include "sfs/sfs.h"
+
+namespace sod::apps {
+
+bc::Program build_photoshare() {
+  bc::ProgramBuilder pb;
+  sfs::declare_fs_natives(pb);
+  pb.native("fs.file_by_index", {Ty::I64}, Ty::Ref);
+  pb.native("fs.file_count", {}, Ty::I64);
+
+  auto& cls = pb.cls("Photo");
+
+  // find(limit): list up to `limit` photo names on the device.
+  {
+    auto& f = cls.method("find", {{"limit", Ty::I64}}, Ty::Ref);
+    uint16_t n = f.local("n", Ty::I64);
+    uint16_t i = f.local("i", Ty::I64);
+    uint16_t out = f.local("out", Ty::Ref);
+    bc::Label loop = f.label(), done = f.label();
+    f.stmt().invokenative("fs.file_count").istore(n);
+    bc::Label capped = f.label();
+    f.stmt().iload(n).iload("limit").if_icmple(capped);
+    f.stmt().iload("limit").istore(n);
+    f.bind(capped).stmt().iload(n).newarray(Ty::Ref).astore(out);
+    f.stmt().iconst(0).istore(i);
+    f.bind(loop).stmt().iload(i).iload(n).if_icmpge(done);
+    f.stmt().aload(out).iload(i).iload(i).invokenative("fs.file_by_index").aastore();
+    f.stmt().iload(i).iconst(1).iadd().istore(i);
+    f.stmt().go(loop);
+    f.bind(done).stmt().aload(out).aret();
+  }
+
+  // fetch(idx): read the whole photo and return its data.
+  {
+    auto& f = cls.method("fetch", {{"idx", Ty::I64}}, Ty::Ref);
+    uint16_t h = f.local("h", Ty::I64);
+    uint16_t chunk = f.local("chunk", Ty::Ref);
+    uint16_t data = f.local("data", Ty::Ref);
+    bc::Label loop = f.label(), done = f.label();
+    f.stmt().iload("idx").invokenative("fs.file_by_index").invokenative("fs.open").istore(h);
+    f.stmt().aconst_null().astore(data);
+    f.bind(loop).stmt().iload(h).invokenative("fs.read_chunk").astore(chunk);
+    f.stmt().aload(chunk).ifnull(done);
+    f.stmt().aload(chunk).astore(data);  // keep last chunk (photo payload)
+    f.stmt().go(loop);
+    f.bind(done).stmt().aload(data).aret();
+  }
+
+  // count_photos(limit): server entry — returns how many photos found.
+  {
+    auto& f = cls.method("count_photos", {{"limit", Ty::I64}}, Ty::I64);
+    uint16_t arr = f.local("arr", Ty::Ref);
+    f.stmt().iload("limit").invoke("Photo.find").astore(arr);
+    f.stmt().aload(arr).arraylen().iret();
+  }
+  // photo_size(idx): server entry — returns byte length of a photo.
+  {
+    auto& f = cls.method("photo_size", {{"idx", Ty::I64}}, Ty::I64);
+    uint16_t d = f.local("d", Ty::Ref);
+    bc::Label nul = f.label();
+    f.stmt().iload("idx").invoke("Photo.fetch").astore(d);
+    f.stmt().aload(d).ifnull(nul);
+    f.stmt().aload(d).arraylen().iret();
+    f.bind(nul).stmt().iconst(-1).iret();
+  }
+  return pb.build();
+}
+
+}  // namespace sod::apps

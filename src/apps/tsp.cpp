@@ -1,0 +1,137 @@
+// TSP — branch-and-bound travelling salesman over a static distance
+// matrix (Table I: n=12, h=4, F~2500 B).  The hot state (distance matrix,
+// visited set, best-so-far) is object data that the migrated frame touches
+// on nearly every step — the workload where eager-copy process migration
+// beats SOD's on-demand faulting (Table III's one SOD loss).
+#include "apps/apps.h"
+
+namespace sod::apps {
+
+namespace {
+
+bc::Program build_tsp() {
+  bc::ProgramBuilder pb;
+  auto& cls = pb.cls("TSP");
+  cls.field("dist", Ty::Ref, /*is_static=*/true);     // n*n flattened i64
+  cls.field("visited", Ty::Ref, /*is_static=*/true);  // n flags
+  cls.field("best", Ty::I64, /*is_static=*/true);
+
+  // init(n): deterministic distance matrix, Java int[][] style (a ref
+  // array of row arrays -- each row is an object SOD must fault in).
+  {
+    auto& f = cls.method("init", {{"n", Ty::I64}}, Ty::Void);
+    uint16_t i = f.local("i", Ty::I64);
+    uint16_t j = f.local("j", Ty::I64);
+    uint16_t row = f.local("row", Ty::Ref);
+    bc::Label il = f.label(), id = f.label(), jl = f.label(), jd = f.label();
+    f.stmt().iload("n").newarray(Ty::Ref).putstatic("TSP.dist");
+    f.stmt().iload("n").newarray(Ty::I64).putstatic("TSP.visited");
+    f.stmt().iconst(1).iconst(60).ishl().putstatic("TSP.best");
+    f.stmt().iconst(0).istore(i);
+    f.bind(il).stmt().iload(i).iload("n").if_icmpge(id);
+    f.stmt().iload("n").newarray(Ty::I64).astore(row);
+    f.stmt().iconst(0).istore(j);
+    f.bind(jl).stmt().iload(j).iload("n").if_icmpge(jd);
+    // row[j] = i==j ? 0 : 1 + (i*7 + j*13 + i*j) % 97
+    bc::Label diag = f.label(), stored = f.label();
+    f.stmt().iload(i).iload(j).if_icmpeq(diag);
+    f.stmt()
+        .aload(row).iload(j)
+        .iconst(1)
+        .iload(i).iconst(7).imul()
+        .iload(j).iconst(13).imul().iadd()
+        .iload(i).iload(j).imul().iadd()
+        .iconst(97).irem()
+        .iadd()
+        .iastore();
+    f.stmt().go(stored);
+    f.bind(diag).stmt().aload(row).iload(j).iconst(0).iastore();
+    f.bind(stored).stmt().iload(j).iconst(1).iadd().istore(j);
+    f.stmt().go(jl);
+    f.bind(jd).stmt().getstatic("TSP.dist").iload(i).aload(row).aastore();
+    f.stmt().iload(i).iconst(1).iadd().istore(i);
+    f.stmt().go(il);
+    f.bind(id).stmt().ret();
+  }
+
+  // search(n, city, count, cost): recursive branch & bound.
+  {
+    auto& f = cls.method(
+        "search",
+        {{"n", Ty::I64}, {"city", Ty::I64}, {"count", Ty::I64}, {"cost", Ty::I64}}, Ty::Void);
+    uint16_t next = f.local("next", Ty::I64);
+    uint16_t step = f.local("step", Ty::I64);
+    uint16_t tour = f.local("tour", Ty::I64);
+    bc::Label not_leaf = f.label(), loop = f.label(), skip = f.label(), done = f.label(),
+              no_improve = f.label(), pruned = f.label();
+    // leaf: close the tour
+    f.stmt().iload("count").iload("n").if_icmplt(not_leaf);
+    f.stmt()
+        .iload("cost")
+        .getstatic("TSP.dist").iload("city").aaload().iconst(0).iaload()
+        .iadd()
+        .istore(tour);
+    f.stmt().iload(tour).getstatic("TSP.best").if_icmpge(no_improve);
+    f.stmt().iload(tour).putstatic("TSP.best");
+    f.bind(no_improve).stmt().ret();
+    f.bind(not_leaf);
+    // prune
+    f.stmt().iload("cost").getstatic("TSP.best").if_icmplt(pruned);
+    f.stmt().ret();
+    f.bind(pruned);
+    f.stmt().iconst(0).istore(next);
+    f.bind(loop).stmt().iload(next).iload("n").if_icmpge(done);
+    f.stmt().getstatic("TSP.visited").iload(next).iaload().ifne(skip);
+    f.stmt().getstatic("TSP.visited").iload(next).iconst(1).iastore();
+    f.stmt().getstatic("TSP.dist")
+        .iload("city").aaload().iload(next).iaload().istore(step);
+    f.stmt()
+        .iload("n").iload(next).iload("count").iconst(1).iadd()
+        .iload("cost").iload(step).iadd()
+        .invoke("TSP.search");
+    f.stmt().getstatic("TSP.visited").iload(next).iconst(0).iastore();
+    f.bind(skip).stmt().iload(next).iconst(1).iadd().istore(next);
+    f.stmt().go(loop);
+    f.bind(done).stmt().ret();
+  }
+
+  // run(n): init + search from city 0; returns best tour.
+  {
+    auto& f = cls.method("run", {{"n", Ty::I64}}, Ty::I64);
+    f.stmt().iload("n").invoke("TSP.init");
+    f.stmt().getstatic("TSP.visited").iconst(0).iconst(1).iastore();
+    f.stmt().iload("n").iconst(0).iconst(1).iconst(0).invoke("TSP.search");
+    f.stmt().getstatic("TSP.best").iret();
+  }
+  {
+    auto& m = cls.method("main", {{"n", Ty::I64}}, Ty::I64);
+    uint16_t r = m.local("r", Ty::I64);
+    m.stmt().iload("n").invoke("TSP.run").istore(r);
+    m.stmt().iload(r).iret();
+  }
+  return pb.build();
+}
+
+}  // namespace
+
+AppSpec tsp_app() {
+  AppSpec s;
+  s.name = "TSP";
+  s.build = build_tsp;
+  s.entry = "TSP.main";
+  s.bench_args = {Value::of_i64(8)};
+  s.bench_expected = INT64_MIN;  // checked against host-side B&B in tests
+  s.paper_args = {Value::of_i64(12)};
+  s.trigger_method = "TSP.search";
+  s.paper_depth = 4;  // paper reports h=4: main -> run -> search (+1)
+  s.paper_jdk_seconds = 2.92;
+  s.paper_n = 12;
+  s.paper_F = "~ 2500";
+  return s;
+}
+
+std::vector<AppSpec> table1_apps() {
+  return {fib_app(), nqueens_app(), fft_app(), tsp_app()};
+}
+
+}  // namespace sod::apps

@@ -1,0 +1,70 @@
+// The three migration systems the paper compares SOD against:
+//
+//   ProcessMigrator  — G-JavaMPI-style eager-copy process migration: the
+//     *whole* stack is captured through the debugger interface and the
+//     *entire reachable heap* is serialized with it (Java serialization).
+//     Capture/restore scale with frame count and heap size (Table IV),
+//     but after migration there are no object faults — which is why it
+//     wins on TSP (Table III).
+//
+//   ThreadMigrator   — JESSICA2-style in-VM thread migration: raw state
+//     access inside the VM makes capture almost free, but the VM is a
+//     Kaffe-era JIT (~4x slower execution, Table II) and class loading
+//     allocates static arrays eagerly, which explodes FFT's restore time
+//     (Table IV).  Objects are reached through the distributed object
+//     space — modelled with the same on-demand object manager as SOD.
+//
+//   xen_live_migrate — Xen pre-copy live migration cost model: iterative
+//     dirty-page rounds over the guest RAM image; short final freeze but
+//     seconds-scale total latency (excluded from the latency table for
+//     exactly that reason, included in overhead Tables II/III).
+#pragma once
+
+#include "sod/migrate.h"
+
+namespace sod::baselines {
+
+using mig::SodNode;
+
+struct EagerTiming {
+  VDur capture{};
+  VDur transfer{};
+  VDur restore{};
+  size_t state_bytes = 0;  ///< frames + (for process migration) heap image
+  VDur latency() const { return capture + transfer + restore; }
+};
+
+/// G-JavaMPI: eager-copy the full stack + reachable heap + statics.
+/// Returns the destination tid through `out_tid`; the home thread is
+/// abandoned (its execution continues only at the destination).
+EagerTiming process_migrate(SodNode& home, int home_tid, SodNode& dest, sim::Link link,
+                            int* out_tid);
+
+/// JESSICA2: in-VM thread migration.  Frames ship (refs become stubs
+/// resolved through the object manager); statics' arrays are allocated at
+/// class-load time during restore (the FFT blow-up).  `out_om` must
+/// outlive execution at the destination (it serves the object faults).
+EagerTiming thread_migrate(SodNode& home, int home_tid, SodNode& dest, sim::Link link,
+                           int* out_tid, mig::ObjectManager* out_om);
+
+/// Kaffe-era JIT execution-speed multiplier vs the reference JVM.
+inline constexpr double kJessica2ExecMultiplier = 4.1;
+
+/// Xen pre-copy live migration model.
+struct XenParams {
+  size_t ram_bytes = 2ull << 30;         ///< VM instance RAM (paper: 2 GB)
+  size_t touched_bytes = 256ull << 20;   ///< pages actually in use
+  double dirty_rate_bps = 400e6;         ///< guest dirtying rate
+  int max_rounds = 5;
+  double exec_multiplier = 2.2;          ///< virtualization overhead (Table II shape)
+};
+
+struct XenTiming {
+  VDur total_latency{};  ///< start of pre-copy to resume at destination
+  VDur freeze{};         ///< stop-and-copy final round only
+  size_t bytes = 0;      ///< total bytes moved
+};
+
+XenTiming xen_live_migrate(const XenParams& p, sim::Link link);
+
+}  // namespace sod::baselines

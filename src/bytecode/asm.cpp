@@ -1,0 +1,356 @@
+#include "bytecode/asm.h"
+
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "bytecode/builder.h"
+
+namespace sod::bc {
+
+namespace {
+
+struct Tok {
+  std::vector<std::string> words;
+  int line = 0;
+};
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw Error("asm: line " + std::to_string(line) + ": " + msg);
+}
+
+Ty parse_ty(const std::string& s, int line) {
+  if (s == "i64") return Ty::I64;
+  if (s == "f64") return Ty::F64;
+  if (s == "ref") return Ty::Ref;
+  if (s == "void") return Ty::Void;
+  fail(line, "bad type: " + s);
+}
+
+int64_t parse_i64(const std::string& s, int line) {
+  int64_t v = 0;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || p != s.data() + s.size()) fail(line, "bad integer: " + s);
+  return v;
+}
+
+double parse_f64(const std::string& s, int line) {
+  try {
+    size_t used = 0;
+    double v = std::stod(s, &used);
+    if (used != s.size()) fail(line, "bad float: " + s);
+    return v;
+  } catch (const std::logic_error&) {
+    fail(line, "bad float: " + s);
+  }
+}
+
+/// Tokenize one line, honouring quoted strings and '#' comments.
+std::vector<std::string> split(const std::string& raw, int line) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < raw.size()) {
+    if (std::isspace(static_cast<unsigned char>(raw[i]))) {
+      ++i;
+      continue;
+    }
+    if (raw[i] == '#') break;
+    if (raw[i] == '"') {
+      std::string s;
+      ++i;
+      while (i < raw.size() && raw[i] != '"') {
+        if (raw[i] == '\\' && i + 1 < raw.size()) ++i;
+        s += raw[i++];
+      }
+      if (i >= raw.size()) fail(line, "unterminated string");
+      ++i;
+      out.push_back("\"" + s);  // keep a marker so operands know it was quoted
+      continue;
+    }
+    size_t start = i;
+    while (i < raw.size() && !std::isspace(static_cast<unsigned char>(raw[i])) && raw[i] != '#')
+      ++i;
+    out.push_back(raw.substr(start, i - start));
+  }
+  return out;
+}
+
+class Assembler {
+ public:
+  explicit Assembler(std::string_view src) : src_(src) {}
+
+  Program run() {
+    tokenize();
+    // Pass 1: classes and fields must exist before method bodies refer to
+    // them by name.
+    for (const Tok& t : lines_) {
+      if (t.words[0] == "class") do_class(t);
+    }
+    for (const Tok& t : lines_) {
+      if (t.words[0] == "field") do_field(t);
+      if (t.words[0] == "native") do_native(t);
+    }
+    // Pass 2: methods (declaration order).
+    for (size_t i = 0; i < lines_.size(); ++i) {
+      if (lines_[i].words[0] == "method") i = do_method(i);
+    }
+    return pb_.build();
+  }
+
+ private:
+  void tokenize() {
+    std::istringstream in{std::string(src_)};
+    std::string raw;
+    int line = 0;
+    while (std::getline(in, raw)) {
+      ++line;
+      auto words = split(raw, line);
+      if (!words.empty()) lines_.push_back(Tok{std::move(words), line});
+    }
+  }
+
+  void do_class(const Tok& t) {
+    if (t.words.size() < 2) fail(t.line, "class needs a name");
+    bool is_ex = t.words.size() > 2 && t.words[2] == "exception";
+    pb_.cls(t.words[1], is_ex);
+  }
+
+  void do_field(const Tok& t) {
+    if (t.words.size() < 3) fail(t.line, "field needs Qualified.name and type");
+    const std::string& q = t.words[1];
+    size_t dot = q.find('.');
+    if (dot == std::string::npos) fail(t.line, "field name must be Class.name");
+    uint16_t cid = pb_.prog().find_class(q.substr(0, dot));
+    if (cid == kNoId) fail(t.line, "unknown class in field: " + q);
+    bool is_static = t.words.size() > 3 && t.words[3] == "static";
+    class_builder(cid).field(q.substr(dot + 1), parse_ty(t.words[2], t.line), is_static);
+  }
+
+  ClassBuilder& class_builder(uint16_t cid) {
+    // ProgramBuilder owns one builder per class in creation order; builtin
+    // exception classes come first.
+    return pb_.class_builder(cid);
+  }
+
+  void do_native(const Tok& t) {
+    // native name (ty,ty) -> ty
+    if (t.words.size() < 4) fail(t.line, "native name (types) -> ty");
+    std::string blob;
+    size_t w = 2;
+    for (; w < t.words.size(); ++w) {
+      blob += t.words[w];
+      if (t.words[w].find(')') != std::string::npos) break;
+    }
+    if (w == t.words.size()) fail(t.line, "missing ')' in native decl");
+    size_t open = blob.find('('), close = blob.find(')');
+    std::vector<Ty> params;
+    std::istringstream ps(blob.substr(open + 1, close - open - 1));
+    std::string item;
+    while (std::getline(ps, item, ','))
+      if (!item.empty()) params.push_back(parse_ty(item, t.line));
+    if (t.words.size() < w + 3 || t.words[w + 1] != "->")
+      fail(t.line, "native decl needs '-> type'");
+    pb_.native(t.words[1], params, parse_ty(t.words[w + 2], t.line));
+  }
+
+  size_t do_method(size_t at) {
+    const Tok& hdr = lines_[at];
+    // method Qualified.name (a:i64 b:ref) -> ty
+    if (hdr.words.size() < 4) fail(hdr.line, "method header malformed");
+    const std::string& q = hdr.words[1];
+    size_t dot = q.find('.');
+    if (dot == std::string::npos) fail(hdr.line, "method name must be Class.name");
+    uint16_t cid = pb_.prog().find_class(q.substr(0, dot));
+    if (cid == kNoId) fail(hdr.line, "unknown class in method: " + q);
+
+    // Params: tokens between '(' and ')' as name:ty; '(' / ')' may be fused.
+    std::vector<std::pair<std::string, Ty>> params;
+    size_t w = 2;
+    std::string blob;
+    for (; w < hdr.words.size(); ++w) {
+      blob += hdr.words[w];
+      if (hdr.words[w].find(')') != std::string::npos) break;
+    }
+    if (w == hdr.words.size()) fail(hdr.line, "missing ')' in method header");
+    size_t open = blob.find('(');
+    size_t close = blob.find(')');
+    if (open == std::string::npos || close == std::string::npos || close < open)
+      fail(hdr.line, "malformed parameter list");
+    std::string plist = blob.substr(open + 1, close - open - 1);
+    std::istringstream ps(plist);
+    std::string item;
+    while (std::getline(ps, item, ',')) {
+      if (item.empty()) continue;
+      size_t colon = item.find(':');
+      if (colon == std::string::npos) fail(hdr.line, "param must be name:type");
+      params.emplace_back(item.substr(0, colon), parse_ty(item.substr(colon + 1), hdr.line));
+    }
+    // Return type after "->".
+    size_t arrow = w + 1;
+    if (arrow + 1 >= hdr.words.size() + 1 || hdr.words.size() < arrow + 2 ||
+        hdr.words[arrow] != "->")
+      fail(hdr.line, "method header needs '-> type'");
+    Ty ret = parse_ty(hdr.words[arrow + 1], hdr.line);
+
+    MethodBuilder& f = class_builder(cid).method(q.substr(dot + 1), params, ret);
+
+    std::map<std::string, Label> labels;
+    auto label_of = [&](const std::string& name) {
+      auto it = labels.find(name);
+      if (it == labels.end()) it = labels.emplace(name, f.label()).first;
+      return it->second;
+    };
+    struct CatchFix {
+      std::string from, to, handler, cls;
+      int line;
+    };
+    std::vector<CatchFix> catches;
+    std::map<std::string, uint32_t> label_pcs;  // filled when bound
+
+    size_t i = at + 1;
+    for (; i < lines_.size(); ++i) {
+      const Tok& t = lines_[i];
+      const std::string& op = t.words[0];
+      if (op == "end") break;
+      if (op == "method") fail(t.line, "missing 'end' before next method");
+
+      auto arg = [&](size_t k) -> const std::string& {
+        if (k >= t.words.size()) fail(t.line, "missing operand");
+        return t.words[k];
+      };
+
+      if (op.back() == ':') {
+        std::string name = op.substr(0, op.size() - 1);
+        f.bind(label_of(name));
+        label_pcs[name] = f.here();
+        continue;
+      }
+      if (op == ".stmt") {
+        f.stmt();
+        continue;
+      }
+      if (op == "local") {
+        f.local(arg(1), parse_ty(arg(2), t.line));
+        continue;
+      }
+      if (op == "catch") {
+        // catch Lh from La to Lb class Name|any
+        if (t.words.size() < 8) fail(t.line, "catch Lh from La to Lb class C");
+        catches.push_back(CatchFix{arg(3), arg(5), arg(1), arg(7), t.line});
+        continue;
+      }
+
+      // --- instructions ---
+      if (op == "iconst") f.iconst(parse_i64(arg(1), t.line));
+      else if (op == "dconst") f.dconst(parse_f64(arg(1), t.line));
+      else if (op == "aconst_null") f.aconst_null();
+      else if (op == "ldc_str") {
+        const std::string& s = arg(1);
+        if (s.empty() || s[0] != '"') fail(t.line, "ldc_str needs a quoted string");
+        f.ldc_str(s.substr(1));
+      }
+      else if (op == "iload") f.iload(arg(1));
+      else if (op == "dload") f.dload(arg(1));
+      else if (op == "aload") f.aload(arg(1));
+      else if (op == "istore") f.istore(arg(1));
+      else if (op == "dstore") f.dstore(arg(1));
+      else if (op == "astore") f.astore(arg(1));
+      else if (op == "pop") f.pop();
+      else if (op == "dup") f.dup();
+      else if (op == "swap") f.swap();
+      else if (op == "iadd") f.iadd();
+      else if (op == "isub") f.isub();
+      else if (op == "imul") f.imul();
+      else if (op == "idiv") f.idiv();
+      else if (op == "irem") f.irem();
+      else if (op == "ineg") f.ineg();
+      else if (op == "ishl") f.ishl();
+      else if (op == "ishr") f.ishr();
+      else if (op == "iand") f.iand();
+      else if (op == "ior") f.ior();
+      else if (op == "ixor") f.ixor();
+      else if (op == "dadd") f.dadd();
+      else if (op == "dsub") f.dsub();
+      else if (op == "dmul") f.dmul();
+      else if (op == "ddiv") f.ddiv();
+      else if (op == "dneg") f.dneg();
+      else if (op == "i2d") f.i2d();
+      else if (op == "d2i") f.d2i();
+      else if (op == "dcmp") f.dcmp();
+      else if (op == "goto") f.go(label_of(arg(1)));
+      else if (op == "ifeq") f.ifeq(label_of(arg(1)));
+      else if (op == "ifne") f.ifne(label_of(arg(1)));
+      else if (op == "iflt") f.iflt(label_of(arg(1)));
+      else if (op == "ifle") f.ifle(label_of(arg(1)));
+      else if (op == "ifgt") f.ifgt(label_of(arg(1)));
+      else if (op == "ifge") f.ifge(label_of(arg(1)));
+      else if (op == "if_icmpeq") f.if_icmpeq(label_of(arg(1)));
+      else if (op == "if_icmpne") f.if_icmpne(label_of(arg(1)));
+      else if (op == "if_icmplt") f.if_icmplt(label_of(arg(1)));
+      else if (op == "if_icmple") f.if_icmple(label_of(arg(1)));
+      else if (op == "if_icmpgt") f.if_icmpgt(label_of(arg(1)));
+      else if (op == "if_icmpge") f.if_icmpge(label_of(arg(1)));
+      else if (op == "ifnull") f.ifnull(label_of(arg(1)));
+      else if (op == "ifnonnull") f.ifnonnull(label_of(arg(1)));
+      else if (op == "lookupswitch") {
+        // lookupswitch Ldefault k1:L1 k2:L2 ...
+        std::vector<std::pair<int64_t, Label>> pairs;
+        for (size_t k = 2; k < t.words.size(); ++k) {
+          size_t colon = t.words[k].find(':');
+          if (colon == std::string::npos) fail(t.line, "switch arm must be key:Label");
+          pairs.emplace_back(parse_i64(t.words[k].substr(0, colon), t.line),
+                             label_of(t.words[k].substr(colon + 1)));
+        }
+        f.lookupswitch(label_of(arg(1)), pairs);
+      }
+      else if (op == "getfield") f.getfield(arg(1));
+      else if (op == "putfield") f.putfield(arg(1));
+      else if (op == "getstatic") f.getstatic(arg(1));
+      else if (op == "putstatic") f.putstatic(arg(1));
+      else if (op == "new") f.new_(arg(1));
+      else if (op == "newarray") f.newarray(parse_ty(arg(1), t.line));
+      else if (op == "iaload") f.iaload();
+      else if (op == "iastore") f.iastore();
+      else if (op == "daload") f.daload();
+      else if (op == "dastore") f.dastore();
+      else if (op == "aaload") f.aaload();
+      else if (op == "aastore") f.aastore();
+      else if (op == "arraylen") f.arraylen();
+      else if (op == "invoke") f.invoke(arg(1));
+      else if (op == "invokenative") f.invokenative(arg(1));
+      else if (op == "return") f.ret();
+      else if (op == "ireturn") f.iret();
+      else if (op == "dreturn") f.dret();
+      else if (op == "areturn") f.aret();
+      else if (op == "throw") f.throw_();
+      else fail(t.line, "unknown mnemonic: " + op);
+    }
+    if (i >= lines_.size()) fail(hdr.line, "method missing 'end'");
+
+    for (const CatchFix& c : catches) {
+      auto fi = label_pcs.find(c.from);
+      auto ti = label_pcs.find(c.to);
+      if (fi == label_pcs.end() || ti == label_pcs.end())
+        fail(c.line, "catch range labels must be bound in this method");
+      uint16_t cls = kAnyClass;
+      if (c.cls != "any") {
+        cls = pb_.prog().find_class(c.cls);
+        if (cls == kNoId) fail(c.line, "unknown exception class: " + c.cls);
+      }
+      f.ex_entry(fi->second, ti->second, label_of(c.handler), cls);
+    }
+    return i;
+  }
+
+  std::string_view src_;
+  std::vector<Tok> lines_;
+  ProgramBuilder pb_;
+};
+
+}  // namespace
+
+Program assemble(std::string_view source) { return Assembler(source).run(); }
+
+}  // namespace sod::bc

@@ -1,0 +1,42 @@
+// Textual assembler for SODEE bytecode — the inverse of the disassembler.
+//
+// Grammar (one construct per line, '#' comments, blank lines ignored):
+//
+//   class Point
+//   field Point.x i64
+//   field Main.count i64 static
+//
+//   method Main.sum (n:i64) -> i64
+//   local i i64
+//   local s i64
+//   .stmt
+//     iconst 1
+//     istore i
+//   L_head:
+//   .stmt
+//     iload i
+//     iload n
+//     if_icmpgt L_done
+//   ...
+//   catch L_handler from L_a to L_b class ArithmeticException
+//   end
+//
+// Labels are `name:` definitions and referenced by name in branch
+// operands; `.stmt` marks the next instruction as a statement start (MSP
+// candidate); field/method operands use qualified names; `ldc_str` takes a
+// quoted string.  The assembler produces a verified Program, so
+// round-tripping disassembler output structure through it is covered by
+// tests.
+#pragma once
+
+#include <string_view>
+
+#include "bytecode/program.h"
+
+namespace sod::bc {
+
+/// Assemble a whole program from source text; throws sod::Error with a
+/// line-numbered diagnostic on malformed input.
+Program assemble(std::string_view source);
+
+}  // namespace sod::bc

@@ -1,0 +1,156 @@
+#include "bytecode/ops.h"
+
+#include <cstring>
+
+namespace sod::bc {
+
+namespace {
+
+constexpr OpInfo kTable[] = {
+    {"nop", OperKind::None},
+
+    {"iconst", OperKind::I64},
+    {"dconst", OperKind::F64},
+    {"aconst_null", OperKind::None},
+    {"ldc_str", OperKind::U16},
+
+    {"iload", OperKind::U16},
+    {"dload", OperKind::U16},
+    {"aload", OperKind::U16},
+    {"istore", OperKind::U16},
+    {"dstore", OperKind::U16},
+    {"astore", OperKind::U16},
+
+    {"pop", OperKind::None},
+    {"dup", OperKind::None},
+    {"swap", OperKind::None},
+
+    {"iadd", OperKind::None},
+    {"isub", OperKind::None},
+    {"imul", OperKind::None},
+    {"idiv", OperKind::None},
+    {"irem", OperKind::None},
+    {"ineg", OperKind::None},
+    {"ishl", OperKind::None},
+    {"ishr", OperKind::None},
+    {"iand", OperKind::None},
+    {"ior", OperKind::None},
+    {"ixor", OperKind::None},
+
+    {"dadd", OperKind::None},
+    {"dsub", OperKind::None},
+    {"dmul", OperKind::None},
+    {"ddiv", OperKind::None},
+    {"dneg", OperKind::None},
+
+    {"i2d", OperKind::None},
+    {"d2i", OperKind::None},
+    {"dcmp", OperKind::None},
+
+    {"goto", OperKind::Target},
+    {"ifeq", OperKind::Target},
+    {"ifne", OperKind::Target},
+    {"iflt", OperKind::Target},
+    {"ifle", OperKind::Target},
+    {"ifgt", OperKind::Target},
+    {"ifge", OperKind::Target},
+    {"if_icmpeq", OperKind::Target},
+    {"if_icmpne", OperKind::Target},
+    {"if_icmplt", OperKind::Target},
+    {"if_icmple", OperKind::Target},
+    {"if_icmpgt", OperKind::Target},
+    {"if_icmpge", OperKind::Target},
+    {"ifnull", OperKind::Target},
+    {"ifnonnull", OperKind::Target},
+    {"lookupswitch", OperKind::Switch},
+
+    {"getfield", OperKind::U16},
+    {"putfield", OperKind::U16},
+    {"getstatic", OperKind::U16},
+    {"putstatic", OperKind::U16},
+
+    {"new", OperKind::U16},
+    {"newarray", OperKind::U8},
+    {"iaload", OperKind::None},
+    {"iastore", OperKind::None},
+    {"daload", OperKind::None},
+    {"dastore", OperKind::None},
+    {"aaload", OperKind::None},
+    {"aastore", OperKind::None},
+    {"arraylen", OperKind::None},
+
+    {"invoke", OperKind::U16},
+    {"invokenative", OperKind::U16},
+    {"return", OperKind::None},
+    {"ireturn", OperKind::None},
+    {"dreturn", OperKind::None},
+    {"areturn", OperKind::None},
+
+    {"throw", OperKind::None},
+};
+
+static_assert(sizeof(kTable) / sizeof(kTable[0]) == kNumOps, "op table out of sync");
+
+}  // namespace
+
+const OpInfo& op_info(Op op) {
+  auto idx = static_cast<size_t>(op);
+  SOD_CHECK(idx < static_cast<size_t>(kNumOps), "bad opcode");
+  return kTable[idx];
+}
+
+uint32_t instr_size(std::span<const uint8_t> code, uint32_t pc) {
+  SOD_CHECK(pc < code.size(), "pc out of range");
+  Op op = static_cast<Op>(code[pc]);
+  switch (op_info(op).operands) {
+    case OperKind::None: return 1;
+    case OperKind::U8: return 2;
+    case OperKind::U16: return 3;
+    case OperKind::Target: return 5;
+    case OperKind::I64:
+    case OperKind::F64: return 9;
+    case OperKind::Switch: {
+      SOD_CHECK(pc + 3 <= code.size(), "truncated lookupswitch");
+      uint16_t npairs;
+      std::memcpy(&npairs, code.data() + pc + 1, 2);
+      return 1 + 2 + 4 + static_cast<uint32_t>(npairs) * 12;
+    }
+  }
+  SOD_UNREACHABLE("bad operand kind");
+}
+
+bool is_terminator(Op op) {
+  switch (op) {
+    case Op::GOTO:
+    case Op::LOOKUPSWITCH:
+    case Op::RETURN:
+    case Op::IRETURN:
+    case Op::DRETURN:
+    case Op::ARETURN:
+    case Op::THROW: return true;
+    default: return false;
+  }
+}
+
+bool is_branch(Op op) {
+  switch (op) {
+    case Op::GOTO:
+    case Op::IFEQ:
+    case Op::IFNE:
+    case Op::IFLT:
+    case Op::IFLE:
+    case Op::IFGT:
+    case Op::IFGE:
+    case Op::IF_ICMPEQ:
+    case Op::IF_ICMPNE:
+    case Op::IF_ICMPLT:
+    case Op::IF_ICMPLE:
+    case Op::IF_ICMPGT:
+    case Op::IF_ICMPGE:
+    case Op::IFNULL:
+    case Op::IFNONNULL: return true;
+    default: return false;
+  }
+}
+
+}  // namespace sod::bc

@@ -1,0 +1,402 @@
+#include "bytecode/verifier.h"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+
+#include "support/panic.h"
+
+namespace sod::bc {
+
+namespace {
+
+using TypeStack = std::vector<Ty>;
+
+class Verifier {
+ public:
+  Verifier(const Program& p, const Method& m, bool enforce_msp)
+      : p_(p), m_(m), enforce_msp_(enforce_msp) {}
+
+  StackMap run() {
+    scan_boundaries();
+    check_static_targets();
+    dataflow();
+    if (enforce_msp_) check_stmt_starts();
+    return std::move(map_);
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg, uint32_t pc = UINT32_MAX) {
+    std::string where = "verifier: method '" + m_.name + "'";
+    if (pc != UINT32_MAX) where += " pc " + std::to_string(pc);
+    throw Error(where + ": " + msg);
+  }
+
+  void scan_boundaries() {
+    if (m_.code.empty()) fail("empty code");
+    map_.depth.assign(m_.code.size(), -1);
+    uint32_t pc = 0;
+    while (pc < m_.code.size()) {
+      if (m_.code[pc] >= static_cast<uint8_t>(Op::kOpCount_)) fail("bad opcode", pc);
+      map_.boundaries.push_back(pc);
+      pc += instr_size(m_.code, pc);
+    }
+    if (pc != m_.code.size()) fail("instruction overruns code end");
+  }
+
+  bool boundary(uint32_t pc) const {
+    return std::binary_search(map_.boundaries.begin(), map_.boundaries.end(), pc);
+  }
+
+  void check_target(uint32_t tgt, uint32_t pc) {
+    if (!boundary(tgt)) fail("branch target " + std::to_string(tgt) + " not at boundary", pc);
+  }
+
+  void check_static_targets() {
+    for (uint32_t pc : map_.boundaries) {
+      Instr in = decode(m_.code, pc);
+      if (is_branch(in.op)) check_target(in.arg, pc);
+      if (in.op == Op::LOOKUPSWITCH) {
+        SwitchInfo si = decode_switch(m_.code, pc);
+        check_target(si.default_target, pc);
+        for (auto& [k, t] : si.pairs) check_target(t, pc);
+      }
+    }
+    for (const auto& e : m_.ex_table) {
+      if (!boundary(e.from_pc) || (e.to_pc != m_.code.size() && !boundary(e.to_pc)) ||
+          !boundary(e.handler_pc))
+        fail("exception entry range/handler not at boundaries");
+      if (e.ex_class != kAnyClass && (e.ex_class >= p_.classes.size() ||
+                                      !p_.cls(e.ex_class).is_exception))
+        fail("exception entry catches non-exception class");
+    }
+    for (uint32_t s : m_.stmt_starts)
+      if (!boundary(s)) fail("stmt start " + std::to_string(s) + " not at boundary");
+    if (!std::is_sorted(m_.stmt_starts.begin(), m_.stmt_starts.end()))
+      fail("stmt starts not sorted");
+  }
+
+  Ty local_type(uint16_t slot, uint32_t pc) {
+    if (slot >= m_.num_locals) fail("local slot out of range", pc);
+    for (const auto& v : m_.var_table)
+      if (v.slot == slot) return v.type;
+    fail("local slot " + std::to_string(slot) + " not in variable table", pc);
+  }
+
+  // --- dataflow ---
+
+  void merge(uint32_t pc, const TypeStack& st) {
+    auto& slot = states_[pc];
+    if (!slot.has_value()) {
+      slot = st;
+      work_.push_back(pc);
+      return;
+    }
+    if (*slot != st) fail("inconsistent stack at merge", pc);
+  }
+
+  Ty pop(TypeStack& st, uint32_t pc) {
+    if (st.empty()) fail("pop from empty stack", pc);
+    Ty t = st.back();
+    st.pop_back();
+    return t;
+  }
+
+  void pop_t(TypeStack& st, Ty want, uint32_t pc) {
+    Ty got = pop(st, pc);
+    if (got != want)
+      fail(std::string("expected ") + ty_name(want) + " got " + ty_name(got), pc);
+  }
+
+  void dataflow() {
+    states_.assign(m_.code.size(), std::nullopt);
+    merge(0, {});
+    // Handler entries execute with just the exception ref on the stack.
+    for (const auto& e : m_.ex_table) merge(e.handler_pc, {Ty::Ref});
+
+    while (!work_.empty()) {
+      uint32_t pc = work_.front();
+      work_.pop_front();
+      TypeStack st = *states_[pc];
+      step(pc, st);
+    }
+
+    uint16_t mx = 0;
+    for (uint32_t pc : map_.boundaries) {
+      if (states_[pc].has_value()) {
+        map_.depth[pc] = static_cast<int32_t>(states_[pc]->size());
+        mx = std::max<uint16_t>(mx, static_cast<uint16_t>(states_[pc]->size()));
+      }
+    }
+    // Depths recorded at boundaries underestimate transient depth inside an
+    // instruction (e.g. operands pushed for INVOKE).  Account for the
+    // biggest transient bump.
+    map_.max_stack = static_cast<uint16_t>(mx + max_transient_);
+  }
+
+  void flow_to(uint32_t pc, const TypeStack& st) {
+    if (pc == m_.code.size()) fail("control flows off end of code");
+    merge(pc, st);
+  }
+
+  void step(uint32_t pc, TypeStack st) {
+    Instr in = decode(m_.code, pc);
+    uint32_t next = pc + in.size;
+    switch (in.op) {
+      case Op::NOP: break;
+
+      case Op::ICONST: st.push_back(Ty::I64); break;
+      case Op::DCONST: st.push_back(Ty::F64); break;
+      case Op::ACONST_NULL: st.push_back(Ty::Ref); break;
+      case Op::LDC_STR:
+        if (in.arg >= p_.strings.size()) fail("bad string index", pc);
+        st.push_back(Ty::Ref);
+        break;
+
+      case Op::ILOAD:
+        if (local_type(static_cast<uint16_t>(in.arg), pc) != Ty::I64) fail("iload of non-i64", pc);
+        st.push_back(Ty::I64);
+        break;
+      case Op::DLOAD:
+        if (local_type(static_cast<uint16_t>(in.arg), pc) != Ty::F64) fail("dload of non-f64", pc);
+        st.push_back(Ty::F64);
+        break;
+      case Op::ALOAD:
+        if (local_type(static_cast<uint16_t>(in.arg), pc) != Ty::Ref) fail("aload of non-ref", pc);
+        st.push_back(Ty::Ref);
+        break;
+      case Op::ISTORE:
+        pop_t(st, Ty::I64, pc);
+        if (local_type(static_cast<uint16_t>(in.arg), pc) != Ty::I64) fail("istore to non-i64", pc);
+        break;
+      case Op::DSTORE:
+        pop_t(st, Ty::F64, pc);
+        if (local_type(static_cast<uint16_t>(in.arg), pc) != Ty::F64) fail("dstore to non-f64", pc);
+        break;
+      case Op::ASTORE:
+        pop_t(st, Ty::Ref, pc);
+        if (local_type(static_cast<uint16_t>(in.arg), pc) != Ty::Ref) fail("astore to non-ref", pc);
+        break;
+
+      case Op::POP: pop(st, pc); break;
+      case Op::DUP: {
+        if (st.empty()) fail("dup on empty stack", pc);
+        st.push_back(st.back());
+        break;
+      }
+      case Op::SWAP: {
+        if (st.size() < 2) fail("swap needs two values", pc);
+        std::swap(st[st.size() - 1], st[st.size() - 2]);
+        break;
+      }
+
+      case Op::IADD: case Op::ISUB: case Op::IMUL: case Op::IDIV: case Op::IREM:
+      case Op::ISHL: case Op::ISHR: case Op::IAND: case Op::IOR: case Op::IXOR:
+        pop_t(st, Ty::I64, pc);
+        pop_t(st, Ty::I64, pc);
+        st.push_back(Ty::I64);
+        break;
+      case Op::INEG:
+        pop_t(st, Ty::I64, pc);
+        st.push_back(Ty::I64);
+        break;
+      case Op::DADD: case Op::DSUB: case Op::DMUL: case Op::DDIV:
+        pop_t(st, Ty::F64, pc);
+        pop_t(st, Ty::F64, pc);
+        st.push_back(Ty::F64);
+        break;
+      case Op::DNEG:
+        pop_t(st, Ty::F64, pc);
+        st.push_back(Ty::F64);
+        break;
+      case Op::I2D:
+        pop_t(st, Ty::I64, pc);
+        st.push_back(Ty::F64);
+        break;
+      case Op::D2I:
+        pop_t(st, Ty::F64, pc);
+        st.push_back(Ty::I64);
+        break;
+      case Op::DCMP:
+        pop_t(st, Ty::F64, pc);
+        pop_t(st, Ty::F64, pc);
+        st.push_back(Ty::I64);
+        break;
+
+      case Op::GOTO:
+        flow_to(in.arg, st);
+        return;
+      case Op::IFEQ: case Op::IFNE: case Op::IFLT: case Op::IFLE: case Op::IFGT: case Op::IFGE:
+        pop_t(st, Ty::I64, pc);
+        flow_to(in.arg, st);
+        break;
+      case Op::IF_ICMPEQ: case Op::IF_ICMPNE: case Op::IF_ICMPLT:
+      case Op::IF_ICMPLE: case Op::IF_ICMPGT: case Op::IF_ICMPGE:
+        pop_t(st, Ty::I64, pc);
+        pop_t(st, Ty::I64, pc);
+        flow_to(in.arg, st);
+        break;
+      case Op::IFNULL: case Op::IFNONNULL:
+        pop_t(st, Ty::Ref, pc);
+        flow_to(in.arg, st);
+        break;
+      case Op::LOOKUPSWITCH: {
+        pop_t(st, Ty::I64, pc);
+        SwitchInfo si = decode_switch(m_.code, pc);
+        flow_to(si.default_target, st);
+        for (auto& [k, t] : si.pairs) flow_to(t, st);
+        return;
+      }
+
+      case Op::GETFIELD: {
+        const Field& f = field_at(in.arg, pc, /*want_static=*/false);
+        pop_t(st, Ty::Ref, pc);
+        st.push_back(f.type);
+        break;
+      }
+      case Op::PUTFIELD: {
+        const Field& f = field_at(in.arg, pc, false);
+        pop_t(st, f.type, pc);
+        pop_t(st, Ty::Ref, pc);
+        break;
+      }
+      case Op::GETSTATIC: {
+        const Field& f = field_at(in.arg, pc, true);
+        st.push_back(f.type);
+        break;
+      }
+      case Op::PUTSTATIC: {
+        const Field& f = field_at(in.arg, pc, true);
+        pop_t(st, f.type, pc);
+        break;
+      }
+
+      case Op::NEW:
+        if (in.arg >= p_.classes.size()) fail("bad class id", pc);
+        st.push_back(Ty::Ref);
+        break;
+      case Op::NEWARRAY: {
+        Ty et = static_cast<Ty>(in.arg);
+        if (et != Ty::I64 && et != Ty::F64 && et != Ty::Ref) fail("bad array elem type", pc);
+        pop_t(st, Ty::I64, pc);
+        st.push_back(Ty::Ref);
+        break;
+      }
+      case Op::IALOAD:
+        pop_t(st, Ty::I64, pc);
+        pop_t(st, Ty::Ref, pc);
+        st.push_back(Ty::I64);
+        break;
+      case Op::IASTORE:
+        pop_t(st, Ty::I64, pc);
+        pop_t(st, Ty::I64, pc);
+        pop_t(st, Ty::Ref, pc);
+        break;
+      case Op::DALOAD:
+        pop_t(st, Ty::I64, pc);
+        pop_t(st, Ty::Ref, pc);
+        st.push_back(Ty::F64);
+        break;
+      case Op::DASTORE:
+        pop_t(st, Ty::F64, pc);
+        pop_t(st, Ty::I64, pc);
+        pop_t(st, Ty::Ref, pc);
+        break;
+      case Op::AALOAD:
+        pop_t(st, Ty::I64, pc);
+        pop_t(st, Ty::Ref, pc);
+        st.push_back(Ty::Ref);
+        break;
+      case Op::AASTORE:
+        pop_t(st, Ty::Ref, pc);
+        pop_t(st, Ty::I64, pc);
+        pop_t(st, Ty::Ref, pc);
+        break;
+      case Op::ARRAYLEN:
+        pop_t(st, Ty::Ref, pc);
+        st.push_back(Ty::I64);
+        break;
+
+      case Op::INVOKE: {
+        if (in.arg >= p_.methods.size()) fail("bad method id", pc);
+        const Method& callee = p_.method(in.arg);
+        max_transient_ = std::max<uint16_t>(
+            max_transient_, static_cast<uint16_t>(callee.params.size()));
+        for (auto it = callee.params.rbegin(); it != callee.params.rend(); ++it)
+          pop_t(st, *it, pc);
+        if (callee.ret != Ty::Void) st.push_back(callee.ret);
+        break;
+      }
+      case Op::INVOKENATIVE: {
+        if (in.arg >= p_.natives.size()) fail("bad native id", pc);
+        const NativeDecl& n = p_.natives[in.arg];
+        max_transient_ =
+            std::max<uint16_t>(max_transient_, static_cast<uint16_t>(n.params.size()));
+        for (auto it = n.params.rbegin(); it != n.params.rend(); ++it) pop_t(st, *it, pc);
+        if (n.ret != Ty::Void) st.push_back(n.ret);
+        break;
+      }
+
+      case Op::RETURN:
+        if (m_.ret != Ty::Void) fail("return in non-void method", pc);
+        return;
+      case Op::IRETURN:
+        if (m_.ret != Ty::I64) fail("ireturn type mismatch", pc);
+        pop_t(st, Ty::I64, pc);
+        return;
+      case Op::DRETURN:
+        if (m_.ret != Ty::F64) fail("dreturn type mismatch", pc);
+        pop_t(st, Ty::F64, pc);
+        return;
+      case Op::ARETURN:
+        if (m_.ret != Ty::Ref) fail("areturn type mismatch", pc);
+        pop_t(st, Ty::Ref, pc);
+        return;
+
+      case Op::THROW:
+        pop_t(st, Ty::Ref, pc);
+        return;
+
+      case Op::kOpCount_: fail("bad opcode", pc);
+    }
+    flow_to(next, st);
+  }
+
+  const Field& field_at(uint32_t id, uint32_t pc, bool want_static) {
+    if (id >= p_.fields.size()) fail("bad field id", pc);
+    const Field& f = p_.field(static_cast<uint16_t>(id));
+    if (f.is_static != want_static) fail("static/instance field mismatch: " + f.name, pc);
+    return f;
+  }
+
+  void check_stmt_starts() {
+    for (uint32_t s : m_.stmt_starts) {
+      if (states_[s].has_value() && !states_[s]->empty())
+        fail("statement start has non-empty operand stack (MSP invariant)", s);
+    }
+  }
+
+  const Program& p_;
+  const Method& m_;
+  bool enforce_msp_;
+  StackMap map_;
+  std::vector<std::optional<TypeStack>> states_;
+  std::deque<uint32_t> work_;
+  uint16_t max_transient_ = 1;
+};
+
+}  // namespace
+
+StackMap verify_method(const Program& p, const Method& m, bool enforce_msp) {
+  return Verifier(p, m, enforce_msp).run();
+}
+
+void verify_program(Program& p) {
+  for (auto& m : p.methods) {
+    if (m.code.empty()) continue;  // declared but never built (builtin exception classes)
+    StackMap sm = verify_method(p, m);
+    m.max_stack = sm.max_stack;
+  }
+}
+
+}  // namespace sod::bc

@@ -1,0 +1,31 @@
+// Status-check instrumentation — the JavaSplit-style baseline the paper
+// compares object faulting against (Fig. 5 B1, Table V).
+//
+// Every application class gains an `__status` instance field and an
+// `__sstatus` static field.  Before each dereferencing statement the pass
+// inserts an inline validity check on every base the statement uses:
+//
+//     aload k; getfield C.__status; ifne ok;
+//     aload k; iconst <fid>; invokenative objman.bring_checked; ok:
+//
+// NEW is rewritten to mark freshly allocated objects valid.  The inline
+// field-read + compare + branch on *every* access — even when the object
+// is local — is exactly the overhead Table V measures.
+#pragma once
+
+#include "bytecode/program.h"
+
+namespace sod::prep {
+
+struct ChecksStats {
+  int checks_inserted = 0;
+  int news_rewritten = 0;
+};
+
+/// Add __status/__sstatus fields to every non-exception class (idempotent).
+void add_status_fields(bc::Program& p);
+
+/// Instrument one flattened method in place.
+ChecksStats inject_status_checks(bc::Program& p, bc::Method& m);
+
+}  // namespace sod::prep

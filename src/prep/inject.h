@@ -1,0 +1,44 @@
+// Handler-injection passes (run on flattened methods):
+//
+//   inject_restore_handler — appends the paper's restoration handler
+//     (Fig. 4a): catch InvalidStateException over the whole original body,
+//     re-read every local from the CapturedState cursor natives, read the
+//     saved pc, and lookupswitch-jump to the matching MSP.
+//
+//   inject_object_fault_handlers — appends one NullPointerException
+//     handler per dereferencing statement (Fig. 5 B2 / Section III.C):
+//     catch the NPE, call the object-manager natives to repair every
+//     reference base the statement uses, and goto-retry the statement.
+//     objman.enter() detects no-progress retries and rethrows the NPE as a
+//     genuine application exception; guest NPE/catch-all handlers that
+//     covered the statement are extended over the injected handler so
+//     application semantics are preserved.
+//
+// Both passes are append-only: existing pcs (and therefore MSP tables and
+// capture metadata) are unchanged.
+#pragma once
+
+#include "bytecode/program.h"
+
+namespace sod::prep {
+
+/// Natives used by injected code; declared idempotently in `p`.
+void declare_prep_natives(bc::Program& p);
+
+struct InjectStats {
+  int fault_handlers = 0;
+  int repair_calls = 0;
+  int guest_entries_extended = 0;
+};
+
+void inject_restore_handler(bc::Program& p, bc::Method& m);
+InjectStats inject_object_fault_handlers(bc::Program& p, bc::Method& m);
+
+/// Exception-driven offload (paper Section II.B): wrap every allocating
+/// statement in a catch(OutOfMemoryException) that calls offload.trap and
+/// retries the statement from its MSP.  The trap native pauses the VM at
+/// that MSP so the runtime can "rocket" the state into the cloud and the
+/// retried allocation succeeds there.  Returns the number of handlers.
+int inject_offload_handlers(bc::Program& p, bc::Method& m);
+
+}  // namespace sod::prep

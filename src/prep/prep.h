@@ -1,0 +1,47 @@
+// Class preprocessor pipeline — the paper's BCEL-based offline transformer
+// (Section III.A module 1).  Runs, per method:
+//
+//   1. flatten        — statement rearrangement establishing MSPs (Fig. 4a)
+//   2. miss detection — either object-fault handlers (SOD's contribution)
+//                       or status checks (the JavaSplit baseline)
+//   3. restoration    — InvalidStateException handlers + pc lookupswitch
+//
+// Preprocessing is one-off and offline, exactly as in the paper; the
+// runtime only ever loads preprocessed programs.
+#pragma once
+
+#include "bytecode/program.h"
+#include "prep/checks.h"
+#include "prep/flatten.h"
+#include "prep/inject.h"
+
+namespace sod::prep {
+
+enum class MissDetection {
+  None,            ///< no remote-object support (plain local runs)
+  ObjectFaulting,  ///< exception-driven, zero inline overhead (the paper's design)
+  StatusChecking,  ///< inline per-access checks (JavaSplit baseline)
+};
+
+struct PrepOptions {
+  bool flatten = true;
+  bool restore_handlers = true;
+  MissDetection miss = MissDetection::ObjectFaulting;
+  /// Exception-driven offload (paper Section II.B): OutOfMemory in an
+  /// allocating statement traps so the runtime can migrate and retry.
+  bool offload_handlers = false;
+};
+
+struct PrepReport {
+  FlattenStats flatten;
+  InjectStats faults;
+  ChecksStats checks;
+  int offload_handlers = 0;
+  size_t image_size_before = 0;  ///< total class-image bytes before
+  size_t image_size_after = 0;   ///< ... and after (Fig. 5 space overhead)
+};
+
+/// Preprocess every method in place.
+PrepReport preprocess_program(bc::Program& p, const PrepOptions& opts = {});
+
+}  // namespace sod::prep

@@ -1,0 +1,90 @@
+#include "sfs/sfs.h"
+
+#include "bytecode/builder.h"
+
+namespace sod::sfs {
+
+using bc::Ty;
+using bc::Value;
+
+std::string FileStore::content(const SimFile& f, size_t off, size_t len) const {
+  if (off >= f.size) return {};
+  len = std::min(len, f.size - off);
+  std::string out(len, ' ');
+  // Deterministic pseudo-text: lowercase words of pseudo-random length.
+  // Regenerating a chunk only needs its 64-byte-aligned neighbourhood.
+  for (size_t i = 0; i < len; ++i) {
+    size_t pos = off + i;
+    uint64_t h = (f.seed + pos / 7) * 0x9e3779b97f4a7c15ull;
+    h ^= h >> 29;
+    out[i] = (pos % 7 == 6) ? ' ' : static_cast<char>('a' + (h % 26));
+  }
+  // Plant the needle if it overlaps this chunk.
+  if (f.needle_at != SIZE_MAX && !f.needle.empty()) {
+    for (size_t k = 0; k < f.needle.size(); ++k) {
+      size_t pos = f.needle_at + k;
+      if (pos >= off && pos < off + len) out[pos - off] = f.needle[k];
+    }
+  }
+  return out;
+}
+
+void declare_fs_natives(bc::ProgramBuilder& pb) {
+  pb.native("fs.open", {Ty::Ref}, Ty::I64);        // name -> handle (-1 if absent)
+  pb.native("fs.read_chunk", {Ty::I64}, Ty::Ref);  // handle -> string or null at EOF
+  pb.native("fs.size", {Ty::I64}, Ty::I64);        // handle -> file size
+  pb.native("fs.file_by_index", {Ty::I64}, Ty::Ref);  // i -> name string
+  pb.native("fs.file_count", {}, Ty::I64);
+}
+
+void MountedFs::install(svm::NativeRegistry& reg) {
+  reg.bind("fs.open", [this](svm::VM& vm, std::span<Value> a) {
+    if (a[0].r == bc::kNull || vm.heap().is_stub(a[0].r)) {
+      vm.throw_guest(bc::builtin::kNullPointer, "fs.open");
+      return Value{};
+    }
+    const std::string& name = vm.heap().str(a[0].r).s;
+    const SimFile* f = store_->find(name);
+    if (!f) return Value::of_i64(-1);
+    handles_.push_back(Open{f, 0});
+    return Value::of_i64(static_cast<int64_t>(handles_.size() - 1));
+  });
+  reg.bind("fs.read_chunk", [this](svm::VM& vm, std::span<Value> a) {
+    int64_t h = a[0].i;
+    SOD_CHECK(h >= 0 && static_cast<size_t>(h) < handles_.size(), "bad fs handle");
+    Open& o = handles_[static_cast<size_t>(h)];
+    if (o.pos >= o.file->size) return Value::null();
+    std::string data = store_->content(*o.file, o.pos, chunk_);
+    o.pos += data.size();
+    bytes_read_ += data.size();
+    // Virtual read cost at the mount's bandwidth + per-call overhead.
+    vm.charge(speed_.per_read +
+              VDur::seconds(static_cast<double>(data.size()) / speed_.bytes_per_sec));
+    bc::Ref r = vm.heap().alloc_str(std::move(data));
+    if (r == bc::kNull) {
+      vm.throw_guest(bc::builtin::kOutOfMemory, "fs.read_chunk");
+      return Value{};
+    }
+    return Value::of_ref(r);
+  });
+  reg.bind("fs.size", [this](svm::VM&, std::span<Value> a) {
+    int64_t h = a[0].i;
+    SOD_CHECK(h >= 0 && static_cast<size_t>(h) < handles_.size(), "bad fs handle");
+    return Value::of_i64(static_cast<int64_t>(handles_[static_cast<size_t>(h)].file->size));
+  });
+  reg.bind("fs.file_by_index", [this](svm::VM& vm, std::span<Value> a) {
+    int64_t i = a[0].i;
+    if (i < 0 || static_cast<size_t>(i) >= store_->count()) {
+      vm.throw_guest(bc::builtin::kIndexOutOfBounds, "fs.file_by_index");
+      return Value{};
+    }
+    bc::Ref r = vm.heap().alloc_str(store_->name_at(static_cast<size_t>(i)));
+    SOD_CHECK(r != bc::kNull, "heap exhausted");
+    return Value::of_ref(r);
+  });
+  reg.bind("fs.file_count", [this](svm::VM&, std::span<Value>) {
+    return Value::of_i64(static_cast<int64_t>(store_->count()));
+  });
+}
+
+}  // namespace sod::sfs

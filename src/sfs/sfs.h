@@ -1,0 +1,106 @@
+// Simulated file system with local and NFS-like remote mounts.
+//
+// File *content* is generated deterministically from a seed (we never hold
+// 600 MB in memory); reads return chunks and charge virtual time at either
+// local-disk or NFS-link bandwidth.  "Needles" can be planted at given
+// offsets so the document-search workloads have something to find.
+//
+// Guest access goes through natives (fs.open / fs.read_chunk / ...) that a
+// Mount installs into a node's NativeRegistry; reads charge the owning
+// node's virtual clock, so migrating execution onto the file server node
+// turns NFS-priced reads into disk-priced reads — the locality effect
+// Table VI measures.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/net.h"
+#include "support/rng.h"
+#include "svm/vm.h"
+
+namespace sod::bc {
+class ProgramBuilder;
+}
+
+namespace sod::sfs {
+
+struct SimFile {
+  std::string name;
+  size_t size = 0;
+  uint64_t seed = 1;
+  /// Optional planted needle.
+  std::string needle;
+  size_t needle_at = SIZE_MAX;
+};
+
+/// The files one server hosts.
+class FileStore {
+ public:
+  void add(SimFile f) {
+    if (!files_.count(f.name)) order_.push_back(f.name);
+    files_[f.name] = std::move(f);
+  }
+  const SimFile* find(const std::string& name) const {
+    auto it = files_.find(name);
+    return it == files_.end() ? nullptr : &it->second;
+  }
+  size_t count() const { return order_.size(); }
+  const std::string& name_at(size_t i) const { return order_.at(i); }
+
+  /// Deterministic content of [off, off+len) (clamped to file size).
+  std::string content(const SimFile& f, size_t off, size_t len) const;
+
+ private:
+  std::unordered_map<std::string, SimFile> files_;
+  std::vector<std::string> order_;
+};
+
+/// Read-bandwidth model for a mount.
+struct MountSpeed {
+  double bytes_per_sec = 110e6;          ///< local SAS disk (paper-era)
+  VDur per_read = VDur::micros(50);      ///< per-call overhead
+  static MountSpeed local_disk() { return MountSpeed{110e6, VDur::micros(50)}; }
+  static MountSpeed nfs() { return MountSpeed{77e6, VDur::micros(200)}; }
+};
+
+/// Declare fs.* native signatures on a program being built.
+void declare_fs_natives(bc::ProgramBuilder& pb);
+
+/// Binds fs natives for one node.  Open files get handles; read_chunk
+/// returns successive chunks as guest strings, charging vm.charge() with
+/// the mount's virtual read time.  The per-node buffer cache is modelled
+/// as "cleared" (every run pays full read cost), matching the paper's
+/// methodology.
+class MountedFs {
+ public:
+  MountedFs(const FileStore* store, MountSpeed speed, size_t chunk_size = 1 << 20)
+      : store_(store), speed_(speed), chunk_(chunk_size) {}
+
+  void install(svm::NativeRegistry& reg);
+
+  /// Re-point at a different store/speed (what "migrating to the file
+  /// server" changes).
+  void remount(const FileStore* store, MountSpeed speed) {
+    store_ = store;
+    speed_ = speed;
+  }
+
+  size_t bytes_read() const { return bytes_read_; }
+
+ private:
+  struct Open {
+    const SimFile* file;
+    size_t pos = 0;
+  };
+  const FileStore* store_;
+  MountSpeed speed_;
+  size_t chunk_;
+  std::vector<Open> handles_;
+  size_t bytes_read_ = 0;
+};
+
+}  // namespace sod::sfs

@@ -1,0 +1,151 @@
+// Migration manager — the SOD protocol (paper Sections III.A–III.B).
+//
+//   capture   : suspend at a migration-safe point, walk the top segment of
+//               frames through the tool interface (GetFrameLocation,
+//               GetLocal<T> ...), null out references, save statics.
+//   transfer  : ship CapturedState (+ the top frame's class image) to the
+//               destination over a simulated link.
+//   restore   : breakpoint-and-exception driven, frame by frame (Fig. 4b):
+//               breakpoint at the method entry, throw InvalidStateException,
+//               the injected handler re-reads locals + pc and jumps; the
+//               re-executed statement re-invokes the next frame's method.
+//   run       : fast mode; object misses repair themselves through the
+//               object manager's fault natives.
+//   write-back: updated objects + the segment's return value go home; home
+//               pops the outdated frames with PopFrame/ForceEarlyReturn and
+//               resumes the residual stack.
+//
+// Segment::deliver() implements the multi-segment flows of Fig. 1(b)/(c):
+// a lower segment restored elsewhere completes its pending call with the
+// upper segment's result via breakpoint + ForceEarlyReturn.
+#pragma once
+
+#include <optional>
+
+#include "sod/objman.h"
+
+namespace sod::mig {
+
+struct MigrationTiming {
+  VDur capture{};
+  VDur transfer{};
+  VDur restore{};
+  size_t state_bytes = 0;
+  size_t class_bytes = 0;
+  VDur latency() const { return capture + transfer + restore; }
+};
+
+/// Home frame depths [depth_lo, depth_hi), 0 = top of stack.
+struct SegmentSpec {
+  int depth_lo = 0;
+  int depth_hi = 1;
+  int len() const { return depth_hi - depth_lo; }
+};
+
+/// Capture a segment from a paused thread.  The thread's *top* frame must
+/// be at an MSP when depth_lo == 0; deeper frames are always capturable
+/// (their pc maps to the statement of their pending INVOKE).
+CapturedState capture_segment(SodNode& home, int home_tid, SegmentSpec seg);
+
+/// One migrated segment living on a destination node.
+class Segment {
+ public:
+  explicit Segment(SodNode& dest);
+
+  /// Restore `cs` on the destination (breakpoint + InvalidStateException
+  /// protocol).  Leaves the thread ready: run() executes it.
+  void restore(const CapturedState& cs);
+
+  /// For lower segments (Fig. 1b/1c): run until the pending call of the
+  /// restored top frame is re-invoked, then complete it with `v`.
+  void deliver(Value v);
+
+  /// Run to completion in fast mode; returns the segment bottom frame's
+  /// return value.
+  Value run_to_completion();
+
+  int tid() const { return tid_; }
+  SodNode& dest() { return *dest_; }
+  ObjectManager& objman() { return om_; }
+
+ private:
+  struct Cursor {
+    const CapturedFrame* frame = nullptr;
+  };
+  void install_cs_natives();
+
+  SodNode* dest_;
+  ObjectManager om_;
+  Cursor cursor_;
+  int tid_ = -1;
+  uint16_t pending_callee_ = bc::kNoId;
+  bool debug_held_ = false;
+};
+
+/// Ship updated objects + result home; pop the segment's outdated frames
+/// (ForceEarlyReturn); returns the result value translated into home refs.
+/// After this the home thread is runnable (or Done if the segment was the
+/// whole stack).
+struct WriteBackReport {
+  size_t bytes = 0;
+  int objects_updated = 0;
+  int objects_created = 0;
+};
+WriteBackReport write_back(Segment& seg, SodNode& home, int home_tid, int frames_to_pop,
+                           Value result, sim::Link link);
+
+/// --- migration triggers (policy helpers) ---
+
+/// Run until the thread's frame count reaches `depth` with the top frame
+/// at its method entry (uses a breakpoint on `method`).  Returns false if
+/// the thread finished first.
+bool pause_at_depth(SodNode& node, int tid, uint16_t method, int depth);
+
+/// Run until the next migration-safe point (safepoint request).
+bool pause_at_next_msp(SodNode& node, int tid);
+
+/// Largest migratable top-segment length that keeps every frame running a
+/// pinned method (e.g. socket holders) at home.
+int max_migratable_frames(SodNode& node, int tid, const std::vector<uint16_t>& pinned_methods);
+
+/// End-to-end single-segment offload: capture top `nframes` of the paused
+/// home thread, migrate to dest, execute there, write back, leave home
+/// runnable.  The workhorse of Tables II-IV.
+struct OffloadOutcome {
+  MigrationTiming timing;
+  FaultStats faults;
+  WriteBackReport writeback;
+  Value result{};
+};
+OffloadOutcome offload_and_return(SodNode& home, int home_tid, int nframes, SodNode& dest,
+                                  sim::Link link);
+
+/// --- exception-driven offload (paper Section II.B) ---
+
+/// Binds the offload.trap native: when an injected OutOfMemory handler
+/// fires, the VM pauses at the failing statement's MSP with this guard
+/// armed.
+class OffloadGuard {
+ public:
+  void install(SodNode& node);
+  bool trapped() const { return trapped_; }
+  int64_t trap_uid() const { return uid_; }
+  void reset() { trapped_ = false; }
+
+ private:
+  bool trapped_ = false;
+  int64_t uid_ = 0;
+};
+
+/// Run `tid` on the (resource-poor) device; if an allocation traps on
+/// OutOfMemory, rocket the whole stack into `cloud` and finish there.
+/// Requires the program to be preprocessed with offload_handlers = true.
+struct ElasticOutcome {
+  bool offloaded = false;
+  Value result{};
+  MigrationTiming timing{};
+};
+ElasticOutcome run_elastic(SodNode& device, int tid, SodNode& cloud, sim::Link link,
+                           OffloadGuard& guard);
+
+}  // namespace sod::mig

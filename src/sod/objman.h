@@ -1,0 +1,121 @@
+// Object manager — both halves of the paper's Section III.C design.
+//
+// Worker side: implements the objman.* natives the preprocessor's fault
+// handlers call.  A missing reference is repaired by asking the home node:
+//   bring_local  -> home reads the suspended frame's local via the tool
+//                   interface (GetLocal) and serializes the object
+//   bring_static -> home reads the static field
+//   bring_field / bring_elem -> resolved through the side table built when
+//                   the holder was deserialized (embedded refs arrive
+//                   nulled, each recorded as (holder, slot) -> home ref)
+// Fetches are shallow: one object per round trip, references inside it
+// null out and fault later — the paper's "heap-on-demand".
+//
+// objman.enter implements the paper's application-NPE passthrough: if a
+// statement retries without any repair making progress, the NPE is a real
+// application bug and is rethrown (caught by whatever guest handler the
+// preprocessor extended over the fault handler).
+//
+// Home side: the agent thread that serves object requests; here it is the
+// serve_* methods, charged with tool-interface and serialization costs on
+// the home node's clock.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "sod/node.h"
+#include "sod/state.h"
+
+namespace sod::mig {
+
+struct FaultStats {
+  int faults = 0;           ///< fetch round trips (object misses)
+  int prefetched = 0;       ///< extra objects piggybacked on those trips
+  size_t bytes = 0;         ///< serialized bytes fetched
+  int app_npe_rethrown = 0; ///< genuine application NPEs passed through
+};
+
+class ObjectManager {
+ public:
+  /// Install objman.* natives into `worker`'s registry.  Standalone (no
+  /// home bound) the natives only implement application-NPE passthrough,
+  /// which is also the correct behaviour for never-migrated runs.
+  void install(SodNode& worker);
+
+  /// Bind to the home node whose thread `home_tid` holds the suspended
+  /// segment: the worker's bottom `seg_len` frames mirror home's top
+  /// `seg_len` frames.
+  void bind_home(SodNode* home, int home_tid, int seg_len, sim::Link link);
+  void unbind_home() { home_ = nullptr; }
+
+  const FaultStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  /// home ref -> worker ref for everything fetched so far.
+  const std::unordered_map<Ref, Ref>& home_map() const { return home_map_; }
+
+  /// Fetch a home object into the worker heap (public for write-back and
+  /// prefetch policies).
+  Ref fetch(Ref home_ref);
+
+  /// Reachability prefetch (paper Section VI future work): each miss also
+  /// ships the home objects reachable within `depth` hops in the same
+  /// response — one round trip, bigger payload, fewer later misses.
+  void set_prefetch_depth(int depth) { prefetch_depth_ = depth; }
+  int prefetch_depth() const { return prefetch_depth_; }
+
+  /// Record that `stub` stands for the home value of (frame_idx, slot) of
+  /// the migrated segment (set while the restoration handler runs).
+  void register_local_stub(Ref stub, int frame_idx, uint16_t slot);
+  /// Record that `stub` stands for the home value of static `field_id`
+  /// (set when statics are restored at the destination).
+  void register_static_stub(Ref stub, uint16_t field_id);
+  /// Home ref a stub stands for: from the stub itself (deserialized
+  /// objects) or via GetLocal on the suspended home frame (captured
+  /// locals).  kNull if unresolvable.
+  Ref resolve_stub_home(Ref stub);
+  /// Reverse map: home ref of a fetched local object (kNull if local-new).
+  Ref home_of_local(Ref local) const {
+    auto it = local_map_.find(local);
+    return it == local_map_.end() ? bc::kNull : it->second;
+  }
+
+ private:
+  static uint64_t side_key(Ref holder, uint32_t slot) {
+    return (static_cast<uint64_t>(holder) << 32) | slot;
+  }
+
+  void bring_local(svm::VM& vm, int64_t slot);
+  void bring_static(svm::VM& vm, int64_t field_id);
+  void bring_field(svm::VM& vm, Ref base, int64_t field_id);
+  void bring_elem(svm::VM& vm, Ref base, int64_t idx);
+  void enter(svm::VM& vm, int64_t uid);
+
+  SodNode* worker_ = nullptr;
+  SodNode* home_ = nullptr;
+  int home_tid_ = -1;
+  int seg_len_ = 0;
+  sim::Link link_{};
+  int prefetch_depth_ = 0;
+
+  std::unordered_map<Ref, Ref> home_map_;   // home -> local
+  std::unordered_map<Ref, Ref> local_map_;  // local -> home
+  std::unordered_map<uint64_t, Ref> side_;  // (holder, slot) -> home ref
+  std::unordered_map<Ref, std::pair<int, uint16_t>> local_stub_origin_;  // stub -> (frame, slot)
+  std::unordered_map<Ref, uint16_t> static_stub_origin_;  // stub -> static field id
+
+  // no-progress retry detection (per worker thread); progress counts
+  // *repair actions* (slots actually filled in), so cache-hit repairs on
+  // later loop iterations register as progress too.
+  int repairs_done_ = 0;
+  struct EnterState {
+    int64_t uid = -1;
+    int fetches = -1;
+  };
+  std::unordered_map<int, EnterState> enter_state_;
+
+  FaultStats stats_;
+};
+
+}  // namespace sod::mig

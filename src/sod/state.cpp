@@ -1,0 +1,76 @@
+#include "sod/state.h"
+
+namespace sod::mig {
+
+namespace {
+
+void write_value(ByteWriter& w, const Value& v) {
+  w.u8(static_cast<uint8_t>(v.tag));
+  switch (v.tag) {
+    case Ty::I64: w.i64(v.i); break;
+    case Ty::F64: w.f64(v.d); break;
+    case Ty::Ref: w.u8(v.r != bc::kNull ? 1 : 0); break;  // null vs remote mark
+    case Ty::Void: SOD_UNREACHABLE("void value");
+  }
+}
+
+Value read_value(ByteReader& r) {
+  Ty t = static_cast<Ty>(r.u8());
+  switch (t) {
+    case Ty::I64: return Value::of_i64(r.i64());
+    case Ty::F64: return Value::of_f64(r.f64());
+    case Ty::Ref: return r.u8() ? Value::of_ref(kRemoteMark) : Value::null();
+    case Ty::Void: break;
+  }
+  SOD_UNREACHABLE("bad value tag");
+}
+
+}  // namespace
+
+void CapturedState::serialize(ByteWriter& w) const {
+  w.u16(static_cast<uint16_t>(frames.size()));
+  for (const auto& f : frames) {
+    w.u16(f.method);
+    w.u32(f.pc);
+    w.u16(f.pending_callee);
+    w.u16(static_cast<uint16_t>(f.locals.size()));
+    for (const auto& v : f.locals) write_value(w, v);
+  }
+  w.u16(static_cast<uint16_t>(statics.size()));
+  for (const auto& s : statics) {
+    w.u16(s.cls);
+    w.u16(static_cast<uint16_t>(s.values.size()));
+    for (const auto& v : s.values) write_value(w, v);
+  }
+}
+
+CapturedState CapturedState::deserialize(ByteReader& r) {
+  CapturedState cs;
+  uint16_t nf = r.u16();
+  cs.frames.resize(nf);
+  for (auto& f : cs.frames) {
+    f.method = r.u16();
+    f.pc = r.u32();
+    f.pending_callee = r.u16();
+    uint16_t nl = r.u16();
+    f.locals.resize(nl);
+    for (auto& v : f.locals) v = read_value(r);
+  }
+  uint16_t ns = r.u16();
+  cs.statics.resize(ns);
+  for (auto& s : cs.statics) {
+    s.cls = r.u16();
+    uint16_t nv = r.u16();
+    s.values.resize(nv);
+    for (auto& v : s.values) v = read_value(r);
+  }
+  return cs;
+}
+
+size_t CapturedState::wire_size() const {
+  ByteWriter w;
+  serialize(w);
+  return w.size();
+}
+
+}  // namespace sod::mig

@@ -1,0 +1,116 @@
+// SODEE experiment drivers — one function per paper table/figure, shared
+// between the bench binaries and the integration tests.
+//
+// Calibration policy (full details in EXPERIMENTS.md): protocol costs
+// (capture, transfer, restore, object faults, write-back) are *emergent*
+// from the mechanism operating on real captured state over the simulated
+// network; raw execution times per system are *calibrated* — the Sun-JDK
+// column of Table II anchors each app's runtime, and the JESSICA2/Xen
+// execution-speed multipliers come from the paper's own no-migration
+// columns (we cannot re-derive Kaffe's 2002-era JIT quality from first
+// principles).  Shapes — who wins, by what factor, where the crossovers
+// fall — emerge from the mechanisms.
+#pragma once
+
+#include "apps/apps.h"
+#include "baselines/baselines.h"
+#include "sod/migrate.h"
+
+namespace sod::sodee {
+
+using apps::AppSpec;
+using mig::SodNode;
+
+/// Per-app execution-speed multipliers derived from Table II's
+/// no-migration columns (system time / JDK time).
+struct SystemMultipliers {
+  double jessica2 = 4.0;
+  double xen = 2.2;
+};
+SystemMultipliers multipliers_for(const std::string& app_name);
+
+/// Everything measured for one Table I app.
+struct MeasuredApp {
+  AppSpec spec;
+  // Table I characteristics measured at paper scale.
+  int measured_h = 0;
+  size_t measured_F_bytes = 0;
+  // Paper-scale protocol timings (top-frame SOD, full-state baselines).
+  mig::MigrationTiming sod;
+  baselines::EagerTiming gj;
+  baselines::EagerTiming j2;
+  baselines::XenTiming xen;
+  // Bench-scale end-to-end offload: object faulting + write-back, real.
+  mig::FaultStats faults;
+  mig::WriteBackReport writeback;
+  VDur sod_fault_time{};
+  VDur sod_writeback_time{};
+  // Measured instrumentation side effect (C0) as a fraction; the paper
+  // reports 0.001..0.0145.
+  double c0 = 0;
+  /// Modelled agent-attach cost (C1); the paper reports 0.001..0.032.
+  double c1 = 0.002;
+};
+
+/// Run all protocol measurements for one app (paper-scale trigger reach,
+/// single-frame SOD migration, eager baselines, bench-scale fault run).
+MeasuredApp measure_app(const AppSpec& spec);
+
+/// Table II/III rows derived from a MeasuredApp.
+struct OverheadRow {
+  std::string app;
+  double jdk_s = 0;
+  double sodee_nomig_s = 0, sodee_mig_s = 0;
+  double gj_nomig_s = 0, gj_mig_s = 0;
+  double j2_nomig_s = 0, j2_mig_s = 0;
+  double xen_nomig_s = 0, xen_mig_s = 0;
+
+  double sodee_overhead_ms() const { return (sodee_mig_s - sodee_nomig_s) * 1e3; }
+  double gj_overhead_ms() const { return (gj_mig_s - gj_nomig_s) * 1e3; }
+  double j2_overhead_ms() const { return (j2_mig_s - j2_nomig_s) * 1e3; }
+  double xen_overhead_ms() const { return (xen_mig_s - xen_nomig_s) * 1e3; }
+};
+OverheadRow overhead_row(const MeasuredApp& m);
+
+// ---------------------------------------------------------------- Table VI
+
+struct LocalityRow {
+  std::string system;
+  double no_mig_s = 0;     ///< run on NFS client, no migration
+  double mig_s = 0;        ///< migrate to the file server before reading
+  double on_server_s = 0;  ///< run locally on the server (floor)
+  double gain() const { return (no_mig_s - mig_s) / no_mig_s; }
+};
+
+struct LocalityConfig {
+  int nfiles = 3;
+  size_t file_bytes = 6 << 20;  ///< real bytes generated per file
+  double report_scale = 100.0;  ///< scales reported times to paper's 600 MB
+};
+std::vector<LocalityRow> run_locality_experiment(const LocalityConfig& cfg = {});
+
+// -------------------------------------------------------- roaming (§IV.C)
+
+struct RoamingResult {
+  double no_mig_s = 0;
+  double roaming_s = 0;
+  int hops = 0;
+  double speedup() const { return no_mig_s / roaming_s; }
+};
+RoamingResult run_roaming_grid(int nservers = 10, size_t file_bytes = 3 << 20,
+                               double report_scale = 100.0);
+
+// --------------------------------------------------------------- Table VII
+
+struct BandwidthRow {
+  double kbps = 0;
+  double capture_ms = 0;
+  double state_ms = 0;    ///< t1: state transfer
+  double class_ms = 0;    ///< t2+t3: class file transfer
+  double restore_ms = 0;  ///< t4
+  double latency_ms() const { return capture_ms + state_ms + class_ms + restore_ms; }
+};
+std::vector<BandwidthRow> run_bandwidth_experiment(
+    const std::vector<double>& kbps = {50, 128, 384, 764});
+
+}  // namespace sod::sodee

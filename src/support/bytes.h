@@ -1,0 +1,96 @@
+// Little-endian byte buffer reader/writer used for bytecode operand
+// encoding and for all wire serialization (captured state, objects,
+// class images).  Sizes produced by ByteWriter are what the network
+// simulator charges for, so every transferred artifact goes through here.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/panic.h"
+
+namespace sod {
+
+class ByteWriter {
+ public:
+  void u8(uint8_t v) { buf_.push_back(v); }
+  void u16(uint16_t v) { append(&v, 2); }
+  void u32(uint32_t v) { append(&v, 4); }
+  void u64(uint64_t v) { append(&v, 8); }
+  void i32(int32_t v) { append(&v, 4); }
+  void i64(int64_t v) { append(&v, 8); }
+  void f64(double v) { append(&v, 8); }
+  void str(std::string_view s) {
+    u32(static_cast<uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  void raw(std::span<const uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Overwrite a previously written u32 at byte offset `at` (for patching
+  /// branch targets after labels resolve).
+  void patch_u32(size_t at, uint32_t v) {
+    SOD_CHECK(at + 4 <= buf_.size(), "patch_u32 out of range");
+    std::memcpy(buf_.data() + at, &v, 4);
+  }
+
+  size_t size() const { return buf_.size(); }
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> take() { return std::move(buf_); }
+
+ private:
+  void append(const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  uint8_t u8() { return data_[take(1)]; }
+  uint16_t u16() { return read<uint16_t>(); }
+  uint32_t u32() { return read<uint32_t>(); }
+  uint64_t u64() { return read<uint64_t>(); }
+  int32_t i32() { return read<int32_t>(); }
+  int64_t i64() { return read<int64_t>(); }
+  double f64() { return read<double>(); }
+  std::string str() {
+    uint32_t n = u32();
+    size_t at = take(n);
+    return std::string(reinterpret_cast<const char*>(data_.data() + at), n);
+  }
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+  void seek(size_t p) {
+    SOD_CHECK(p <= data_.size(), "seek out of range");
+    pos_ = p;
+  }
+
+ private:
+  template <typename T>
+  T read() {
+    T v;
+    std::memcpy(&v, data_.data() + take(sizeof(T)), sizeof(T));
+    return v;
+  }
+  size_t take(size_t n) {
+    SOD_CHECK(pos_ + n <= data_.size(), "ByteReader overrun");
+    size_t at = pos_;
+    pos_ += n;
+    return at;
+  }
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sod

@@ -1,0 +1,35 @@
+// Internal error handling for the SODEE reproduction.
+//
+// VM-internal invariant violations (malformed bytecode reaching the
+// interpreter, broken protocol state, ...) are programming errors and abort
+// through SOD_CHECK.  Guest-level exceptions (NullPointerException et al.)
+// are *modelled data* inside the VM and never use C++ exceptions; see
+// svm/guestex.h.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace sod {
+
+/// Thrown for user-facing API misuse (bad arguments to public entry points).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void panic(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "SOD panic at %s:%d: %s\n", file, line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace sod
+
+#define SOD_CHECK(cond, msg)                              \
+  do {                                                    \
+    if (!(cond)) ::sod::panic(__FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define SOD_UNREACHABLE(msg) ::sod::panic(__FILE__, __LINE__, (msg))

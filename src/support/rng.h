@@ -1,0 +1,36 @@
+// Deterministic pseudo-random generator (SplitMix64) used by workload
+// generators, synthetic file content and property tests.  We avoid
+// std::mt19937 so that generated content is stable across library
+// implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace sod {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound).
+  uint64_t below(uint64_t bound) { return bound == 0 ? 0 : next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace sod

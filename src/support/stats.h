@@ -1,0 +1,40 @@
+// Minimal running-statistics accumulator used by benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace sod {
+
+class Stats {
+ public:
+  void add(double x) {
+    ++n_;
+    sum_ += x;
+    sum2_ += x * x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  int64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double stddev() const {
+    if (n_ < 2) return 0.0;
+    double m = mean();
+    double var = (sum2_ - static_cast<double>(n_) * m * m) / static_cast<double>(n_ - 1);
+    return var > 0 ? std::sqrt(var) : 0.0;
+  }
+
+ private:
+  int64_t n_ = 0;
+  double sum_ = 0, sum2_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace sod

@@ -1,0 +1,60 @@
+// Plain-text table printer so every bench binary reports paper-style rows
+// with aligned columns.
+#pragma once
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sod {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  std::string str() const {
+    std::vector<size_t> w(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& r) {
+      for (size_t i = 0; i < r.size() && i < w.size(); ++i) w[i] = std::max(w[i], r[i].size());
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    std::string out;
+    auto emit = [&](const std::vector<std::string>& r) {
+      for (size_t i = 0; i < w.size(); ++i) {
+        std::string c = i < r.size() ? r[i] : "";
+        out += c;
+        out.append(w[i] - c.size() + 2, ' ');
+      }
+      out += '\n';
+    };
+    emit(header_);
+    for (size_t i = 0; i < w.size(); ++i) out.append(w[i], '-').append(2, ' ');
+    out += '\n';
+    for (const auto& r : rows_) emit(r);
+    return out;
+  }
+
+  void print() const { std::fputs(str().c_str(), stdout); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper producing std::string (for table cells).
+inline std::string fmt(const char* f, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, f);
+  vsnprintf(buf, sizeof buf, f, ap);
+  va_end(ap);
+  return buf;
+}
+
+}  // namespace sod

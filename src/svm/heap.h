@@ -1,0 +1,133 @@
+// Guest heap.
+//
+// Cells are class instances, typed arrays, or interned strings.  Refs are
+// 1-based indices (0 = null).  There is no garbage collector — guest runs
+// in the experiments are bounded, and the paper's migration design treats
+// the heap as home-anchored data that is fetched on demand, so lifetime is
+// managed per-VM (the whole heap dies with the VM, as the worker JVMs in
+// the paper exit after their lease).
+//
+// Serialization comes in two flavours mirroring the two migration schools:
+//   - serialize_shallow: one cell; embedded refs are encoded as *home ref
+//     ids* and materialize as nulls + side-table entries at the receiver
+//     (SOD's on-demand object faulting).
+//   - serialize_graph: the full reachable closure (eager-copy process
+//     migration à la G-JavaMPI).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "bytecode/types.h"
+#include "support/bytes.h"
+
+namespace sod::svm {
+
+using bc::Ref;
+using bc::Ty;
+using bc::Value;
+
+/// Placeholder for an object whose data still lives at the home node.
+/// Stubs look non-null to reference tests (preserving `if (x == null)`
+/// semantics across migration) but raise NullPointerException on any
+/// dereference, which drives the injected fault handlers exactly like the
+/// paper's plain-null scheme.  `home_ref` is the home-heap id when known
+/// (stubs from deserialized objects) or 0 (stubs standing for captured
+/// frame locals, resolved via GetLocal at the home).
+struct StubCell {
+  Ref home_ref = 0;
+};
+
+struct ObjCell {
+  uint16_t cls = 0;
+  std::vector<Value> fields;
+};
+struct ArrICell {
+  std::vector<int64_t> v;
+};
+struct ArrDCell {
+  std::vector<double> v;
+};
+struct ArrRCell {
+  std::vector<Ref> v;
+};
+struct StrCell {
+  std::string s;
+};
+
+using Cell = std::variant<std::monostate, ObjCell, ArrICell, ArrDCell, ArrRCell, StrCell, StubCell>;
+
+class Heap {
+ public:
+  /// Byte budget; allocations beyond it fail (drives OutOfMemory-style
+  /// exception-driven offload on small-device profiles).  0 = unlimited.
+  explicit Heap(size_t limit_bytes = 0) : limit_(limit_bytes) {}
+
+  Ref alloc_obj(uint16_t cls, std::span<const Ty> slot_types);
+  Ref alloc_arr_i(size_t n);
+  Ref alloc_arr_d(size_t n);
+  Ref alloc_arr_r(size_t n);
+  Ref alloc_str(std::string s);
+  Ref alloc_stub(Ref home_ref);
+
+  bool is_stub(Ref r) const { return std::holds_alternative<StubCell>(cell(r)); }
+  Ref stub_home(Ref r) const { return std::get<StubCell>(cell(r)).home_ref; }
+  /// Replace a stub in place with the materialized cell `from` (so every
+  /// existing reference to the stub sees the real object).
+  void replace_stub(Ref stub, Cell materialized);
+
+  /// True if the last alloc_* failed for capacity (ref came back null).
+  bool last_alloc_failed() const { return oom_; }
+
+  bool valid(Ref r) const { return r >= 1 && r <= cells_.size(); }
+  Cell& cell(Ref r);
+  const Cell& cell(Ref r) const;
+  ObjCell& obj(Ref r);
+  const ObjCell& obj(Ref r) const;
+  ArrICell& arr_i(Ref r);
+  ArrDCell& arr_d(Ref r);
+  ArrRCell& arr_r(Ref r);
+  const StrCell& str(Ref r) const;
+
+  size_t count() const { return cells_.size(); }
+  size_t used_bytes() const { return used_; }
+
+  /// Shallow wire form of one cell (embedded refs as raw home ids).
+  void serialize_shallow(Ref r, ByteWriter& w) const;
+  /// Byte size of the shallow wire form.
+  size_t shallow_size(Ref r) const;
+  /// Materialize a shallow cell into this heap.  Embedded non-null refs
+  /// become remote stubs carrying the home ref (when `stubs`), or nulls
+  /// (graph deserialization rewires them afterwards).  `remote_of`
+  /// receives (holder, slot_or_index, home_ref) for each embedded ref.
+  /// Returns the new local ref.
+  using RemoteRefSink = std::function<void(Ref local_holder, uint32_t slot, Ref home_ref)>;
+  Ref deserialize_shallow(ByteReader& r, const RemoteRefSink& remote_of, bool stubs = true);
+
+  /// Full reachable closure from `roots` (eager copy).  The wire form is a
+  /// list of (home_ref, shallow cell); intra-graph refs are preserved via
+  /// an id map when deserializing.
+  void serialize_graph(std::span<const Ref> roots, ByteWriter& w) const;
+  size_t graph_size(std::span<const Ref> roots) const;
+  /// Returns home->local ref map.
+  std::unordered_map<Ref, Ref> deserialize_graph(ByteReader& r);
+
+  /// Deep-copy compare of two refs across heaps (test support).
+  static bool deep_equal(const Heap& a, Ref ra, const Heap& b, Ref rb);
+
+ private:
+  Ref push_cell(Cell c, size_t bytes);
+  size_t cell_bytes(const Cell& c) const;
+
+  std::vector<Cell> cells_;
+  size_t limit_;
+  size_t used_ = 0;
+  bool oom_ = false;
+};
+
+}  // namespace sod::svm

@@ -1,0 +1,79 @@
+#include "svm/natives.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "bytecode/builder.h"
+
+namespace sod::svm {
+
+using bc::Ty;
+
+void declare_stdlib(bc::ProgramBuilder& pb) {
+  pb.native("sys.print_i64", {Ty::I64}, Ty::Void);
+  pb.native("sys.print_f64", {Ty::F64}, Ty::Void);
+  pb.native("sys.print_str", {Ty::Ref}, Ty::Void);
+  pb.native("math.sin", {Ty::F64}, Ty::F64);
+  pb.native("math.cos", {Ty::F64}, Ty::F64);
+  pb.native("math.sqrt", {Ty::F64}, Ty::F64);
+  pb.native("math.abs_f64", {Ty::F64}, Ty::F64);
+  // str.char_at(str, i) -> i64 (char code); str.find(hay, needle, from) -> index or -1
+  pb.native("str.char_at", {Ty::Ref, Ty::I64}, Ty::I64);
+  pb.native("str.find", {Ty::Ref, Ty::Ref, Ty::I64}, Ty::I64);
+}
+
+void StdLib::install(NativeRegistry& reg) {
+  reg.bind("sys.print_i64", [this](VM&, std::span<Value> a) {
+    out_ += std::to_string(a[0].i) + "\n";
+    if (echo) std::printf("%lld\n", static_cast<long long>(a[0].i));
+    return Value{};
+  });
+  reg.bind("sys.print_f64", [this](VM&, std::span<Value> a) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g\n", a[0].d);
+    out_ += buf;
+    if (echo) std::fputs(buf, stdout);
+    return Value{};
+  });
+  reg.bind("sys.print_str", [this](VM& vm, std::span<Value> a) {
+    if (a[0].r == bc::kNull || vm.heap().is_stub(a[0].r)) {
+      vm.throw_guest(bc::builtin::kNullPointer, "print_str");
+      return Value{};
+    }
+    out_ += vm.heap().str(a[0].r).s + "\n";
+    if (echo) std::printf("%s\n", vm.heap().str(a[0].r).s.c_str());
+    return Value{};
+  });
+  reg.bind("math.sin", [](VM&, std::span<Value> a) { return Value::of_f64(std::sin(a[0].d)); });
+  reg.bind("math.cos", [](VM&, std::span<Value> a) { return Value::of_f64(std::cos(a[0].d)); });
+  reg.bind("math.sqrt", [](VM&, std::span<Value> a) { return Value::of_f64(std::sqrt(a[0].d)); });
+  reg.bind("math.abs_f64",
+           [](VM&, std::span<Value> a) { return Value::of_f64(std::fabs(a[0].d)); });
+  reg.bind("str.char_at", [](VM& vm, std::span<Value> a) {
+    if (a[0].r == bc::kNull || vm.heap().is_stub(a[0].r)) {
+      vm.throw_guest(bc::builtin::kNullPointer, "str.char_at");
+      return Value{};
+    }
+    const std::string& s = vm.heap().str(a[0].r).s;
+    int64_t i = a[1].i;
+    if (i < 0 || static_cast<size_t>(i) >= s.size()) {
+      vm.throw_guest(bc::builtin::kIndexOutOfBounds, "str.char_at");
+      return Value{};
+    }
+    return Value::of_i64(static_cast<unsigned char>(s[static_cast<size_t>(i)]));
+  });
+  reg.bind("str.find", [](VM& vm, std::span<Value> a) {
+    if (a[0].r == bc::kNull || a[1].r == bc::kNull || vm.heap().is_stub(a[0].r) ||
+        vm.heap().is_stub(a[1].r)) {
+      vm.throw_guest(bc::builtin::kNullPointer, "str.find");
+      return Value{};
+    }
+    const std::string& hay = vm.heap().str(a[0].r).s;
+    const std::string& needle = vm.heap().str(a[1].r).s;
+    size_t from = a[2].i < 0 ? 0 : static_cast<size_t>(a[2].i);
+    size_t at = from > hay.size() ? std::string::npos : hay.find(needle, from);
+    return Value::of_i64(at == std::string::npos ? -1 : static_cast<int64_t>(at));
+  });
+}
+
+}  // namespace sod::svm

@@ -1,0 +1,41 @@
+// Standard native library available to guest programs: console output
+// (captured in a buffer so tests can assert on it), math functions used by
+// the FFT workload, and string helpers used by the search workloads.
+//
+// Deliberately small: anything environment-specific (file system, object
+// manager, captured-state readers) is registered by that environment on
+// top of these (sfs::, sod::).
+#pragma once
+
+#include <string>
+
+#include "svm/vm.h"
+
+namespace sod::bc {
+class ProgramBuilder;
+}
+
+namespace sod::svm {
+
+/// Declare the stdlib native signatures in a program (must be called while
+/// building, before code references them).
+void declare_stdlib(bc::ProgramBuilder& pb);
+
+/// Host-side stdlib state: console buffer.
+class StdLib {
+ public:
+  /// Bind stdlib natives into `reg`; `this` must outlive the registry use.
+  void install(NativeRegistry& reg);
+
+  /// Everything guest code printed via sys.print*.
+  const std::string& out() const { return out_; }
+  void clear() { out_.clear(); }
+
+  /// Also echo prints to stdout (off by default; examples turn it on).
+  bool echo = false;
+
+ private:
+  std::string out_;
+};
+
+}  // namespace sod::svm

@@ -1,0 +1,280 @@
+// Guest applications: correctness at bench scale (against host-side
+// reference implementations), preprocessing transparency, and migration
+// during each app's hot phase.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/apps.h"
+#include "prep/prep.h"
+#include "sod/migrate.h"
+#include "testlib.h"
+
+namespace sod {
+namespace {
+
+using apps::AppSpec;
+using bc::Value;
+using mig::SodNode;
+
+// --- host-side references ---
+
+int64_t host_fib(int64_t n) {
+  int64_t a = 0, b = 1;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t t = a + b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+int64_t host_nqueens(int n, int row, uint64_t cols, uint64_t d1, uint64_t d2) {
+  if (row >= n) return 1;
+  int64_t count = 0;
+  for (int col = 0; col < n; ++col) {
+    uint64_t bit = 1ull << col;
+    if (cols & bit) continue;
+    if (d1 & (1ull << (col + row))) continue;
+    if (d2 & (1ull << (col - row + n - 1))) continue;
+    count += host_nqueens(n, row + 1, cols | bit, d1 | (1ull << (col + row)),
+                          d2 | (1ull << (col - row + n - 1)));
+  }
+  return count;
+}
+
+struct HostFft {
+  int n;
+  std::vector<double> re, im;
+  explicit HostFft(int n_) : n(n_), re(static_cast<size_t>(n_) * n_), im(re.size()) {}
+  void fft1d(int off, int len, int stride, int sign) {
+    // bit reversal
+    for (int i = 1, j = 0; i < len; ++i) {
+      int bit = len >> 1;
+      for (; j & bit; bit >>= 1) j ^= bit;
+      j |= bit;
+      if (i < j) {
+        std::swap(re[static_cast<size_t>(off + i * stride)],
+                  re[static_cast<size_t>(off + j * stride)]);
+        std::swap(im[static_cast<size_t>(off + i * stride)],
+                  im[static_cast<size_t>(off + j * stride)]);
+      }
+    }
+    for (int l = 2; l <= len; l <<= 1) {
+      int half = l >> 1;
+      for (int i = 0; i < len; i += l) {
+        for (int k = 0; k < half; ++k) {
+          double ang = sign * -2.0 * M_PI * k / l;
+          double wr = std::cos(ang), wi = std::sin(ang);
+          size_t ia = static_cast<size_t>(off + (i + k) * stride);
+          size_t ib = static_cast<size_t>(off + (i + k + half) * stride);
+          double ur = re[ia], ui = im[ia];
+          double vr = re[ib] * wr - im[ib] * wi;
+          double vi = re[ib] * wi + im[ib] * wr;
+          re[ia] = ur + vr;
+          im[ia] = ui + vi;
+          re[ib] = ur - vr;
+          im[ib] = ui - vi;
+        }
+      }
+    }
+  }
+  int64_t run() {
+    for (size_t i = 0; i < re.size(); ++i)
+      re[i] = static_cast<double>((static_cast<int64_t>(i) * 7 + 31) % 101);
+    for (int r = 0; r < n; ++r) fft1d(r * n, n, 1, 1);
+    for (int c = 0; c < n; ++c) fft1d(c, n, n, 1);
+    double s = 0;
+    for (double x : re) s += x;
+    return static_cast<int64_t>(s);
+  }
+};
+
+struct HostTsp {
+  int n;
+  std::vector<int64_t> dist;
+  std::vector<int> visited;
+  int64_t best;
+  explicit HostTsp(int n_) : n(n_), dist(static_cast<size_t>(n_) * n_), visited(n_, 0) {
+    best = int64_t{1} << 60;
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j)
+        dist[static_cast<size_t>(i) * n + j] =
+            i == j ? 0 : 1 + (i * 7 + j * 13 + static_cast<int64_t>(i) * j) % 97;
+  }
+  void search(int city, int count, int64_t cost) {
+    if (count >= n) {
+      int64_t tour = cost + dist[static_cast<size_t>(city) * n];
+      if (tour < best) best = tour;
+      return;
+    }
+    if (cost >= best) return;
+    for (int next = 0; next < n; ++next) {
+      if (visited[next]) continue;
+      visited[next] = 1;
+      search(next, count + 1, cost + dist[static_cast<size_t>(city) * n + next]);
+      visited[next] = 0;
+    }
+  }
+  int64_t run() {
+    visited[0] = 1;
+    search(0, 1, 0);
+    return best;
+  }
+};
+
+// --- parameterized: every Table I app, original vs preprocessed ---
+
+class AppCorrectness : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+int64_t expected_of(const AppSpec& s) {
+  if (s.name == "Fib") return host_fib(s.bench_args[0].as_i64());
+  if (s.name == "NQ") return host_nqueens(static_cast<int>(s.bench_args[0].as_i64()), 0, 0, 0, 0);
+  if (s.name == "FFT") return HostFft(static_cast<int>(s.bench_args[0].as_i64())).run();
+  if (s.name == "TSP") return HostTsp(static_cast<int>(s.bench_args[0].as_i64())).run();
+  return 0;
+}
+
+TEST_P(AppCorrectness, MatchesHostReference) {
+  auto [idx, preprocessed] = GetParam();
+  AppSpec spec = apps::table1_apps()[static_cast<size_t>(idx)];
+  bc::Program p = spec.build();
+  if (preprocessed) prep::preprocess_program(p);
+  SodNode node("n", p, {});
+  mig::ObjectManager om;
+  om.install(node);
+  Value got = node.vm().call(spec.entry, spec.bench_args);
+  EXPECT_EQ(got.as_i64(), expected_of(spec)) << spec.name;
+}
+
+std::string app_name_of(int idx) {
+  switch (idx) {
+    case 0: return "Fib";
+    case 1: return "NQ";
+    case 2: return "FFT";
+    default: return "TSP";
+  }
+}
+
+std::string correctness_name(const ::testing::TestParamInfo<std::tuple<int, bool>>& info) {
+  return app_name_of(std::get<0>(info.param)) +
+         (std::get<1>(info.param) ? "_prepped" : "_orig");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppCorrectness,
+                         ::testing::Combine(::testing::Range(0, 4), ::testing::Bool()),
+                         correctness_name);
+
+// --- migration mid-run for each app ---
+
+class AppMigration : public ::testing::TestWithParam<int> {};
+
+TEST_P(AppMigration, OffloadDuringHotPhasePreservesResult) {
+  AppSpec spec = apps::table1_apps()[static_cast<size_t>(GetParam())];
+  bc::Program p = spec.build();
+  prep::preprocess_program(p);
+  SodNode home("home", p, {});
+  SodNode dest("dest", p, {});
+  uint16_t trigger = p.find_method(spec.trigger_method);
+  int tid = home.vm().spawn(p.find_method(spec.entry), spec.bench_args);
+  int depth = std::min(spec.paper_depth, 4);
+  ASSERT_TRUE(mig::pause_at_depth(home, tid, trigger, depth)) << spec.name;
+  mig::offload_and_return(home, tid, 1, dest, sim::Link::gigabit());
+  home.ti().set_debug_enabled(false);
+  auto rr = home.run_guest(tid);
+  ASSERT_EQ(rr.reason, svm::StopReason::Done) << spec.name;
+  EXPECT_EQ(home.vm().thread(tid).result.as_i64(), expected_of(spec)) << spec.name;
+}
+
+std::string migration_name(const ::testing::TestParamInfo<int>& info) {
+  return app_name_of(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppMigration, ::testing::Range(0, 4), migration_name);
+
+// --- doc search over the simulated fs ---
+
+TEST(Apps, DocSearchFindsPlantedNeedles) {
+  bc::Program p = apps::build_docsearch();
+  prep::preprocess_program(p);
+  sfs::FileStore store;
+  for (int i = 0; i < 3; ++i) {
+    sfs::SimFile f;
+    f.name = "doc" + std::to_string(i);
+    f.size = 256 << 10;
+    f.seed = 42 + static_cast<uint64_t>(i);
+    f.needle = "sodneedle";
+    f.needle_at = (64 << 10) + static_cast<size_t>(i);
+    store.add(f);
+  }
+  SodNode node("n", p, {});
+  mig::ObjectManager om;
+  om.install(node);
+  sfs::MountedFs mount(&store, sfs::MountSpeed::local_disk());
+  mount.install(node.registry());
+  Value hits = node.call_guest("Search.main", std::vector<Value>{Value::of_i64(3)});
+  EXPECT_EQ(hits.as_i64(), 3);
+  EXPECT_GT(mount.bytes_read(), 0u);
+  // Reads charged virtual time on the node clock.
+  EXPECT_GT(node.node().clock.now().ns, 0);
+}
+
+TEST(Apps, DocSearchMissesAbsentNeedle) {
+  bc::Program p = apps::build_docsearch();
+  prep::preprocess_program(p);
+  sfs::FileStore store;
+  sfs::SimFile f;
+  f.name = "doc0";
+  f.size = 64 << 10;
+  f.seed = 7;  // no needle planted
+  store.add(f);
+  SodNode node("n", p, {});
+  mig::ObjectManager om;
+  om.install(node);
+  sfs::MountedFs mount(&store, sfs::MountSpeed::local_disk());
+  mount.install(node.registry());
+  Value hits = node.vm().call("Search.main", std::vector<Value>{Value::of_i64(1)});
+  EXPECT_EQ(hits.as_i64(), 0);
+}
+
+TEST(Apps, PhotoShareListsAndFetches) {
+  bc::Program p = apps::build_photoshare();
+  prep::preprocess_program(p);
+  sfs::FileStore photos;
+  for (int i = 0; i < 5; ++i) {
+    sfs::SimFile f;
+    f.name = "IMG_" + std::to_string(i) + ".jpg";
+    f.size = 100 << 10;
+    f.seed = 99 + static_cast<uint64_t>(i);
+    photos.add(f);
+  }
+  SodNode node("n", p, {});
+  mig::ObjectManager om;
+  om.install(node);
+  sfs::MountedFs mount(&photos, sfs::MountSpeed::local_disk());
+  mount.install(node.registry());
+  EXPECT_EQ(node.vm().call("Photo.count_photos", std::vector<Value>{Value::of_i64(10)}).as_i64(),
+            5);
+  EXPECT_EQ(node.vm().call("Photo.photo_size", std::vector<Value>{Value::of_i64(2)}).as_i64(),
+            100 << 10);
+}
+
+TEST(Apps, Table1CharacteristicsShape) {
+  // h and F at paper scale follow Table I: deep stacks for Fib/NQ, tiny F
+  // everywhere but FFT's >64 MB.
+  for (const AppSpec& spec : apps::table1_apps()) {
+    bc::Program p = spec.build();
+    prep::preprocess_program(p);
+    SodNode home("home", p, {});
+    int tid = home.vm().spawn(p.find_method(spec.entry), spec.paper_args);
+    ASSERT_TRUE(mig::pause_at_depth(home, tid, p.find_method(spec.trigger_method),
+                                    spec.paper_depth))
+        << spec.name;
+    int h = static_cast<int>(home.vm().thread(tid).frames.size());
+    EXPECT_EQ(h, spec.paper_depth) << spec.name;
+    home.ti().set_debug_enabled(false);
+  }
+}
+
+}  // namespace
+}  // namespace sod

@@ -1,0 +1,190 @@
+// Textual assembler: programs written as .sasm text assemble, verify, run
+// correctly, and survive the full migration pipeline.
+#include <gtest/gtest.h>
+
+#include "bytecode/asm.h"
+#include "bytecode/disasm.h"
+#include "prep/prep.h"
+#include "sod/migrate.h"
+#include "testlib.h"
+
+namespace sod {
+namespace {
+
+using namespace sod::testing;
+
+constexpr const char* kFibSrc = R"(
+# recursive fibonacci
+class Main
+method Main.fib (n:i64) -> i64
+local a i64
+local b i64
+.stmt
+  iload n
+  iconst 2
+  if_icmpge L_rec
+.stmt
+  iload n
+  ireturn
+L_rec:
+.stmt
+  iload n
+  iconst 1
+  isub
+  invoke Main.fib
+  istore a
+.stmt
+  iload n
+  iconst 2
+  isub
+  invoke Main.fib
+  istore b
+.stmt
+  iload a
+  iload b
+  iadd
+  ireturn
+end
+)";
+
+TEST(Asm, AssemblesAndRunsFib) {
+  auto p = bc::assemble(kFibSrc);
+  EXPECT_EQ(run1(p, "Main.fib", {Value::of_i64(15)}).as_i64(), fib_ref(15));
+}
+
+TEST(Asm, AssembledProgramSurvivesMigration) {
+  auto p = bc::assemble(kFibSrc);
+  prep::preprocess_program(p);
+  mig::SodNode home("home", p, {});
+  mig::SodNode dest("dest", p, {});
+  uint16_t fib = p.find_method("Main.fib");
+  int tid = home.vm().spawn(fib, std::vector<Value>{Value::of_i64(14)});
+  ASSERT_TRUE(mig::pause_at_depth(home, tid, fib, 5));
+  mig::offload_and_return(home, tid, 2, dest, sim::Link::gigabit());
+  home.ti().set_debug_enabled(false);
+  ASSERT_EQ(home.run_guest(tid).reason, svm::StopReason::Done);
+  EXPECT_EQ(home.vm().thread(tid).result.as_i64(), fib_ref(14));
+}
+
+TEST(Asm, FieldsStaticsObjectsAndCatch) {
+  constexpr const char* src = R"(
+class Point
+field Point.x i64
+class M
+field M.count i64 static
+method M.go (a:i64) -> i64
+local p ref
+local t i64
+.stmt
+  new Point
+  astore p
+.stmt
+  aload p
+  iload a
+  putfield Point.x
+L_try:
+.stmt
+  iload a
+  iconst 0
+  idiv
+  istore t
+.stmt
+  iload t
+  ireturn
+L_after:
+L_handler:
+  pop
+.stmt
+  getstatic M.count
+  iconst 1
+  iadd
+  putstatic M.count
+.stmt
+  aload p
+  getfield Point.x
+  getstatic M.count
+  iadd
+  ireturn
+catch L_handler from L_try to L_after class ArithmeticException
+end
+)";
+  auto p = bc::assemble(src);
+  // 1/0 throws; handler returns x + count = a + 1
+  EXPECT_EQ(run1(p, "M.go", {Value::of_i64(9)}).as_i64(), 10);
+}
+
+TEST(Asm, LookupSwitchAndStrings) {
+  constexpr const char* src = R"(
+native str.find (ref, ref, i64) -> i64
+class M
+method M.sw (k:i64) -> i64
+.stmt
+  iload k
+  lookupswitch L_dflt 1:L_one 2:L_two
+L_one:
+.stmt
+  iconst 11
+  ireturn
+L_two:
+.stmt
+  iconst 22
+  ireturn
+L_dflt:
+.stmt
+  iconst -1
+  ireturn
+end
+method M.find () -> i64
+local h ref
+local n ref
+.stmt
+  ldc_str "hello world"
+  astore h
+.stmt
+  ldc_str "world"
+  astore n
+.stmt
+  aload h
+  aload n
+  iconst 0
+  invokenative str.find
+  ireturn
+end
+)";
+  auto p = bc::assemble(src);
+  svm::NativeRegistry reg;
+  svm::StdLib lib;
+  lib.install(reg);
+  svm::VM vm(p, &reg);
+  EXPECT_EQ(vm.call("M.sw", std::vector<Value>{Value::of_i64(1)}).as_i64(), 11);
+  EXPECT_EQ(vm.call("M.sw", std::vector<Value>{Value::of_i64(2)}).as_i64(), 22);
+  EXPECT_EQ(vm.call("M.sw", std::vector<Value>{Value::of_i64(9)}).as_i64(), -1);
+  EXPECT_EQ(vm.call("M.find", {}).as_i64(), 6);
+}
+
+TEST(Asm, DiagnosticsCarryLineNumbers) {
+  EXPECT_THROW(
+      {
+        try {
+          bc::assemble("class A\nmethod A.f () -> i64\n  bogus_op\nend\n");
+        } catch (const Error& e) {
+          EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+          throw;
+        }
+      },
+      Error);
+  EXPECT_THROW(bc::assemble("field NoClass.x i64\n"), Error);
+  EXPECT_THROW(bc::assemble("class A\nmethod A.f () -> i64\n  ireturn\n"), Error);  // no end
+  // Verifier errors surface too (empty stack ireturn).
+  EXPECT_THROW(bc::assemble("class A\nmethod A.f () -> i64\n.stmt\n  ireturn\nend\n"), Error);
+}
+
+TEST(Asm, DisassemblerShowsAssembledCode) {
+  auto p = bc::assemble(kFibSrc);
+  std::string text = bc::disasm_method(p, p.method(p.find_method("Main.fib")));
+  EXPECT_NE(text.find("invoke"), std::string::npos);
+  EXPECT_NE(text.find("if_icmpge"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sod

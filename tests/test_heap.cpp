@@ -1,0 +1,181 @@
+// Heap: allocation, typed access, shallow/graph serialization, deep_equal.
+#include <gtest/gtest.h>
+
+#include "svm/heap.h"
+
+namespace sod::svm {
+namespace {
+
+using bc::Ty;
+using bc::Value;
+
+TEST(Heap, AllocAndAccess) {
+  Heap h;
+  std::vector<Ty> slots{Ty::I64, Ty::Ref, Ty::F64};
+  Ref o = h.alloc_obj(3, slots);
+  ASSERT_NE(o, bc::kNull);
+  EXPECT_EQ(h.obj(o).cls, 3);
+  EXPECT_EQ(h.obj(o).fields[0].as_i64(), 0);
+  EXPECT_EQ(h.obj(o).fields[1].as_ref(), bc::kNull);
+  EXPECT_DOUBLE_EQ(h.obj(o).fields[2].as_f64(), 0.0);
+
+  Ref ai = h.alloc_arr_i(4);
+  h.arr_i(ai).v[2] = 42;
+  EXPECT_EQ(h.arr_i(ai).v[2], 42);
+
+  Ref s = h.alloc_str("abc");
+  EXPECT_EQ(h.str(s).s, "abc");
+}
+
+TEST(Heap, LimitEnforced) {
+  Heap h(200);
+  Ref a = h.alloc_arr_i(4);  // 16 + 32 bytes
+  EXPECT_NE(a, bc::kNull);
+  Ref b = h.alloc_arr_i(1000);  // way over
+  EXPECT_EQ(b, bc::kNull);
+  EXPECT_TRUE(h.last_alloc_failed());
+}
+
+TEST(Heap, StubLifecycle) {
+  Heap h;
+  Ref s = h.alloc_stub(42);
+  ASSERT_NE(s, bc::kNull);
+  EXPECT_TRUE(h.is_stub(s));
+  EXPECT_EQ(h.stub_home(s), 42u);
+  // Materialize in place: all holders of `s` now see the real cell.
+  h.replace_stub(s, Cell(StrCell{"real"}));
+  EXPECT_FALSE(h.is_stub(s));
+  EXPECT_EQ(h.str(s).s, "real");
+}
+
+TEST(Heap, ShallowSerializeStubsEmbeddedRefs) {
+  Heap src;
+  std::vector<Ty> slots{Ty::I64, Ty::Ref};
+  Ref inner = src.alloc_arr_i(2);
+  src.arr_i(inner).v = {7, 8};
+  Ref outer = src.alloc_obj(5, slots);
+  src.obj(outer).fields[0] = Value::of_i64(99);
+  src.obj(outer).fields[1] = Value::of_ref(inner);
+
+  ByteWriter w;
+  src.serialize_shallow(outer, w);
+  EXPECT_EQ(w.size(), src.shallow_size(outer));
+
+  Heap dst;
+  ByteReader r(w.bytes());
+  std::vector<std::tuple<Ref, uint32_t, Ref>> remotes;
+  Ref copy = dst.deserialize_shallow(
+      r, [&](Ref holder, uint32_t slot, Ref home) { remotes.emplace_back(holder, slot, home); });
+  ASSERT_NE(copy, bc::kNull);
+  EXPECT_EQ(dst.obj(copy).fields[0].as_i64(), 99);
+  // Ref field arrives as a remote stub carrying the home ref, and the
+  // side-table sink still reports it.
+  Ref stub = dst.obj(copy).fields[1].as_ref();
+  ASSERT_NE(stub, bc::kNull);
+  EXPECT_TRUE(dst.is_stub(stub));
+  EXPECT_EQ(dst.stub_home(stub), inner);
+  ASSERT_EQ(remotes.size(), 1u);
+  EXPECT_EQ(std::get<0>(remotes[0]), copy);
+  EXPECT_EQ(std::get<1>(remotes[0]), 1u);
+  EXPECT_EQ(std::get<2>(remotes[0]), inner);
+}
+
+TEST(Heap, ShallowArrays) {
+  Heap src;
+  Ref ad = src.alloc_arr_d(3);
+  src.arr_d(ad).v = {1.5, -2.5, 0.0};
+  ByteWriter w;
+  src.serialize_shallow(ad, w);
+  Heap dst;
+  ByteReader r(w.bytes());
+  Ref copy = dst.deserialize_shallow(r, nullptr);
+  EXPECT_EQ(dst.arr_d(copy).v, src.arr_d(ad).v);
+}
+
+TEST(Heap, RefArrayRemoteSink) {
+  Heap src;
+  Ref s1 = src.alloc_str("x");
+  Ref arr = src.alloc_arr_r(3);
+  src.arr_r(arr).v = {s1, bc::kNull, s1};
+  ByteWriter w;
+  src.serialize_shallow(arr, w);
+  Heap dst;
+  ByteReader r(w.bytes());
+  int sink_calls = 0;
+  Ref copy = dst.deserialize_shallow(r, [&](Ref, uint32_t, Ref) { ++sink_calls; });
+  EXPECT_EQ(sink_calls, 2);  // two non-null elements
+  // Non-null elements arrive as stubs; the genuine null stays null.
+  EXPECT_TRUE(dst.is_stub(dst.arr_r(copy).v[0]));
+  EXPECT_EQ(dst.arr_r(copy).v[1], bc::kNull);
+  EXPECT_TRUE(dst.is_stub(dst.arr_r(copy).v[2]));
+  EXPECT_EQ(dst.stub_home(dst.arr_r(copy).v[0]), s1);
+}
+
+TEST(Heap, GraphDeserializeWithoutStubs) {
+  Heap src;
+  Ref inner = src.alloc_str("y");
+  Ref arr = src.alloc_arr_r(1);
+  src.arr_r(arr).v = {inner};
+  ByteWriter w;
+  std::vector<Ref> roots{arr};
+  src.serialize_graph(roots, w);
+  Heap dst;
+  ByteReader r(w.bytes());
+  auto map = dst.deserialize_graph(r);
+  // Graph mode rewires in-graph refs directly; no stubs remain reachable.
+  EXPECT_FALSE(dst.is_stub(dst.arr_r(map.at(arr)).v[0]));
+  EXPECT_EQ(dst.str(dst.arr_r(map.at(arr)).v[0]).s, "y");
+}
+
+TEST(Heap, GraphSerializePreservesSharingAndCycles) {
+  Heap src;
+  std::vector<Ty> slots{Ty::Ref, Ty::Ref};
+  Ref a = src.alloc_obj(1, slots);
+  Ref b = src.alloc_obj(1, slots);
+  Ref shared = src.alloc_str("shared");
+  // a -> b, a -> shared; b -> a (cycle), b -> shared (sharing)
+  src.obj(a).fields[0] = Value::of_ref(b);
+  src.obj(a).fields[1] = Value::of_ref(shared);
+  src.obj(b).fields[0] = Value::of_ref(a);
+  src.obj(b).fields[1] = Value::of_ref(shared);
+
+  ByteWriter w;
+  std::vector<Ref> roots{a};
+  src.serialize_graph(roots, w);
+  EXPECT_EQ(w.size(), src.graph_size(roots));
+
+  Heap dst;
+  ByteReader r(w.bytes());
+  auto map = dst.deserialize_graph(r);
+  ASSERT_EQ(map.size(), 3u);
+  Ref a2 = map.at(a), b2 = map.at(b), s2 = map.at(shared);
+  EXPECT_EQ(dst.obj(a2).fields[0].as_ref(), b2);
+  EXPECT_EQ(dst.obj(b2).fields[0].as_ref(), a2);
+  EXPECT_EQ(dst.obj(a2).fields[1].as_ref(), s2);
+  EXPECT_EQ(dst.obj(b2).fields[1].as_ref(), s2);
+  EXPECT_EQ(dst.str(s2).s, "shared");
+  EXPECT_TRUE(Heap::deep_equal(src, a, dst, a2));
+}
+
+TEST(Heap, DeepEqualDetectsDifferences) {
+  Heap h1, h2;
+  std::vector<Ty> slots{Ty::I64};
+  Ref x = h1.alloc_obj(1, slots);
+  Ref y = h2.alloc_obj(1, slots);
+  EXPECT_TRUE(Heap::deep_equal(h1, x, h2, y));
+  h2.obj(y).fields[0] = Value::of_i64(5);
+  EXPECT_FALSE(Heap::deep_equal(h1, x, h2, y));
+  EXPECT_TRUE(Heap::deep_equal(h1, bc::kNull, h2, bc::kNull));
+  EXPECT_FALSE(Heap::deep_equal(h1, x, h2, bc::kNull));
+}
+
+TEST(Heap, GraphSizeScalesWithPayload) {
+  Heap h;
+  Ref small = h.alloc_arr_d(10);
+  Ref big = h.alloc_arr_d(1000);
+  std::vector<Ref> rs{small}, rb{big};
+  EXPECT_GT(h.graph_size(rb), 50 * h.graph_size(rs) / 10);
+}
+
+}  // namespace
+}  // namespace sod::svm

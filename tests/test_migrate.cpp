@@ -1,0 +1,315 @@
+// End-to-end SOD migration: capture -> transfer -> restore -> remote
+// execution with object faulting -> write-back -> home resume.  Also the
+// Fig. 1 flows: return-to-home, total migration, multi-hop workflow.
+#include <gtest/gtest.h>
+
+#include "prep/prep.h"
+#include "sod/migrate.h"
+#include "testlib.h"
+
+namespace sod {
+namespace {
+
+using namespace sod::testing;
+using mig::SodNode;
+
+bc::Program prepped_fib() {
+  auto p = testing::fib_program();
+  prep::preprocess_program(p);
+  return p;
+}
+
+/// Linked-list workload: build at home, sum migrated.
+///   build(n): list of nodes with val = 1..n, returns head
+///   sum(head): walks the list
+///   main(n): h = build(n); return sum(h)
+bc::Program list_program() {
+  ProgramBuilder pb;
+  auto& nd = pb.cls("ListNode");
+  nd.field("val", Ty::I64);
+  nd.field("next", Ty::Ref);
+
+  auto& m = pb.cls("M");
+  m.field("total_built", Ty::I64, /*is_static=*/true);
+
+  auto& bld = m.method("build", {{"n", Ty::I64}}, Ty::Ref);
+  uint16_t head = bld.local("head", Ty::Ref);
+  uint16_t node = bld.local("node", Ty::Ref);
+  uint16_t i = bld.local("i", Ty::I64);
+  Label loop = bld.label(), done = bld.label();
+  bld.stmt().aconst_null().astore(head);
+  bld.stmt().iload("n").istore(i);
+  bld.bind(loop).stmt().iload(i).iconst(1).if_icmplt(done);
+  bld.stmt().new_("ListNode").astore(node);
+  bld.stmt().aload(node).iload(i).putfield("ListNode.val");
+  bld.stmt().aload(node).aload(head).putfield("ListNode.next");
+  bld.stmt().aload(node).astore(head);
+  bld.stmt().getstatic("M.total_built").iconst(1).iadd().putstatic("M.total_built");
+  bld.stmt().iload(i).iconst(1).isub().istore(i);
+  bld.stmt().go(loop);
+  bld.bind(done).stmt().aload(head).aret();
+
+  auto& sum = m.method("sum", {{"head", Ty::Ref}}, Ty::I64);
+  uint16_t cur = sum.local("cur", Ty::Ref);
+  uint16_t s = sum.local("s", Ty::I64);
+  Label sl = sum.label(), sd = sum.label();
+  sum.stmt().aload("head").astore(cur);
+  sum.stmt().iconst(0).istore(s);
+  sum.bind(sl).stmt().aload(cur).ifnull(sd);
+  sum.stmt().iload(s).aload(cur).getfield("ListNode.val").iadd().istore(s);
+  // also mutate each node so write-back has something to do
+  sum.stmt().aload(cur).aload(cur).getfield("ListNode.val").iconst(2).imul()
+      .putfield("ListNode.val");
+  sum.stmt().aload(cur).getfield("ListNode.next").astore(cur);
+  sum.stmt().go(sl);
+  sum.bind(sd).stmt().iload(s).iret();
+
+  auto& mn = m.method("main", {{"n", Ty::I64}}, Ty::I64);
+  uint16_t h = mn.local("h", Ty::Ref);
+  uint16_t r = mn.local("r", Ty::I64);
+  mn.stmt().iload("n").invoke("M.build").astore(h);
+  mn.stmt().aload(h).invoke("M.sum").istore(r);
+  mn.stmt().iload(r).getstatic("M.total_built").iadd().iret();
+  return pb.build();
+}
+
+TEST(Migrate, FibOffloadAndReturn) {
+  auto p = prepped_fib();
+  SodNode home("home", p, {});
+  SodNode dest("dest", p, {});
+  uint16_t fib = p.find_method("Main.fib");
+
+  int tid = home.vm().spawn(fib, std::vector<Value>{Value::of_i64(16)});
+  ASSERT_TRUE(mig::pause_at_depth(home, tid, fib, 6));
+  ASSERT_EQ(home.vm().thread(tid).frames.size(), 6u);
+
+  auto out = mig::offload_and_return(home, tid, 3, dest, sim::Link::gigabit());
+  EXPECT_GT(out.timing.capture.ns, 0);
+  EXPECT_GT(out.timing.transfer.ns, 0);
+  EXPECT_GT(out.timing.restore.ns, 0);
+  EXPECT_GT(out.timing.state_bytes, 0u);
+
+  // Home stack shrank by the three migrated frames and got the result.
+  EXPECT_EQ(home.vm().thread(tid).frames.size(), 3u);
+  home.ti().set_debug_enabled(false);
+  auto rr = home.run_guest(tid);
+  ASSERT_EQ(rr.reason, svm::StopReason::Done);
+  EXPECT_EQ(home.vm().thread(tid).result.as_i64(), fib_ref(16));
+}
+
+TEST(Migrate, MigrateAtEveryFeasibleDepth) {
+  // Sweep: pause at depths 2..8, offload top half, verify final result.
+  auto p = prepped_fib();
+  uint16_t fib = p.find_method("Main.fib");
+  for (int depth = 2; depth <= 8; ++depth) {
+    SodNode home("home", p, {});
+    SodNode dest("dest", p, {});
+    int tid = home.vm().spawn(fib, std::vector<Value>{Value::of_i64(13)});
+    ASSERT_TRUE(mig::pause_at_depth(home, tid, fib, depth));
+    int nframes = depth / 2 + 1;
+    mig::offload_and_return(home, tid, nframes, dest, sim::Link::gigabit());
+    home.ti().set_debug_enabled(false);
+    auto rr = home.run_guest(tid);
+    ASSERT_EQ(rr.reason, svm::StopReason::Done) << "depth " << depth;
+    EXPECT_EQ(home.vm().thread(tid).result.as_i64(), fib_ref(13)) << "depth " << depth;
+  }
+}
+
+TEST(Migrate, ObjectFaultingFetchesOnDemandAndWritesBack) {
+  auto p = list_program();
+  prep::preprocess_program(p);
+  SodNode home("home", p, {});
+  SodNode dest("dest", p, {});
+  uint16_t mn = p.find_method("M.main");
+  uint16_t sum = p.find_method("M.sum");
+
+  int tid = home.vm().spawn(mn, std::vector<Value>{Value::of_i64(10)});
+  // Run until M.sum is entered (frames: main, sum).
+  ASSERT_TRUE(mig::pause_at_depth(home, tid, sum, 2));
+
+  auto out = mig::offload_and_return(home, tid, 1, dest, sim::Link::gigabit());
+  // The list was fetched node by node on demand.
+  EXPECT_GE(out.faults.faults, 10);
+  EXPECT_GT(out.faults.bytes, 0u);
+  EXPECT_EQ(out.result.as_i64(), 55);
+  EXPECT_GE(out.writeback.objects_updated, 10);
+
+  home.ti().set_debug_enabled(false);
+  auto rr = home.run_guest(tid);
+  ASSERT_EQ(rr.reason, svm::StopReason::Done);
+  // main returns sum + total_built = 55 + 10
+  EXPECT_EQ(home.vm().thread(tid).result.as_i64(), 65);
+}
+
+TEST(Migrate, WriteBackReflectsHeapMutations) {
+  auto p = list_program();
+  prep::preprocess_program(p);
+  SodNode home("home", p, {});
+  SodNode dest("dest", p, {});
+  uint16_t bld = p.find_method("M.build");
+  uint16_t sum = p.find_method("M.sum");
+
+  // Build the list locally at home.
+  Value head = home.vm().call(p.method(bld).name, std::vector<Value>{Value::of_i64(5)});
+  // Spawn sum(head) and immediately migrate the whole (1-frame) stack.
+  int tid = home.vm().spawn(sum, std::vector<Value>{head});
+  ASSERT_TRUE(mig::pause_at_depth(home, tid, sum, 1));
+  auto out = mig::offload_and_return(home, tid, 1, dest, sim::Link::gigabit());
+  EXPECT_EQ(out.result.as_i64(), 15);
+  // The whole stack migrated: thread is Done at home with the result.
+  EXPECT_EQ(home.vm().thread(tid).status, svm::ThreadStatus::Done);
+  EXPECT_EQ(home.vm().thread(tid).result.as_i64(), 15);
+  // sum() doubled each node's val at the worker; home heap must show it.
+  bc::Ref cur = head.as_ref();
+  int64_t want = 2;
+  uint16_t val_fid = p.find_field("ListNode.val");
+  uint16_t next_fid = p.find_field("ListNode.next");
+  const bc::Field& valf = p.field(val_fid);
+  const bc::Field& nextf = p.field(next_fid);
+  while (cur != bc::kNull) {
+    EXPECT_EQ(home.vm().heap().obj(cur).fields[valf.slot].as_i64(), want);
+    cur = home.vm().heap().obj(cur).fields[nextf.slot].as_ref();
+    want += 2;
+  }
+}
+
+TEST(Migrate, TotalMigrationFig1b) {
+  // Fig. 1(b): top frame migrates; the residual frames are pushed to the
+  // same destination; when the top segment finishes, its result is
+  // delivered into the residual segment at the destination and execution
+  // continues there (no return to home).
+  auto p = prepped_fib();
+  uint16_t fib = p.find_method("Main.fib");
+  SodNode home("home", p, {});
+  SodNode dest("dest", p, {});
+
+  int tid = home.vm().spawn(fib, std::vector<Value>{Value::of_i64(12)});
+  ASSERT_TRUE(mig::pause_at_depth(home, tid, fib, 4));
+
+  // Segment A: top frame.
+  auto csA = mig::capture_segment(home, tid, mig::SegmentSpec{0, 1});
+  // Segment B: the residual stack (depths 1..4).
+  auto csB = mig::capture_segment(home, tid, mig::SegmentSpec{1, 4});
+  home.ti().set_debug_enabled(false);
+
+  mig::Segment segA(dest);
+  segA.objman().bind_home(&home, tid, 0, sim::Link::gigabit());
+  // Worker frames for A mirror home depth 0 only; frame 0 <-> depth 0.
+  segA.objman().bind_home(&home, tid, 1, sim::Link::gigabit());
+  segA.restore(csA);
+  Value a = segA.run_to_completion();
+
+  mig::Segment segB(dest);
+  segB.restore(csB);
+  segB.deliver(a);
+  Value final = segB.run_to_completion();
+  EXPECT_EQ(final.as_i64(), fib_ref(12));
+}
+
+TEST(Migrate, WorkflowFig1cAcrossThreeNodes) {
+  // Fig. 1(c): frame 1 -> node 2, frames 2..3 -> node 3, control flows
+  // 1 -> 2 -> 3.  The lower segment restores on node 3 concurrently, so
+  // its restore cost overlaps segment A's execution (freeze-time hiding).
+  auto p = prepped_fib();
+  uint16_t fib = p.find_method("Main.fib");
+  SodNode n1("node1", p, {});
+  SodNode n2("node2", p, {});
+  SodNode n3("node3", p, {});
+
+  int tid = n1.vm().spawn(fib, std::vector<Value>{Value::of_i64(12)});
+  ASSERT_TRUE(mig::pause_at_depth(n1, tid, fib, 3));
+
+  auto csTop = mig::capture_segment(n1, tid, mig::SegmentSpec{0, 1});
+  auto csRest = mig::capture_segment(n1, tid, mig::SegmentSpec{1, 3});
+  n1.ti().set_debug_enabled(false);
+
+  mig::Segment segTop(n2);
+  segTop.objman().bind_home(&n1, tid, 1, sim::Link::gigabit());
+  segTop.restore(csTop);
+
+  mig::Segment segRest(n3);
+  segRest.objman().bind_home(&n1, tid, 3, sim::Link::gigabit());
+  segRest.restore(csRest);
+
+  // Control: node2 executes the top frame, forwards its result to node3.
+  Value top = segTop.run_to_completion();
+  segRest.deliver(top);
+  Value final = segRest.run_to_completion();
+  EXPECT_EQ(final.as_i64(), fib_ref(12));
+}
+
+TEST(Migrate, PinnedFramesLimitSegment) {
+  auto p = prepped_fib();
+  uint16_t fib = p.find_method("Main.fib");
+  SodNode home("home", p, {});
+  int tid = home.vm().spawn(fib, std::vector<Value>{Value::of_i64(12)});
+  ASSERT_TRUE(mig::pause_at_depth(home, tid, fib, 5));
+  // Pin nothing: whole stack migratable.
+  EXPECT_EQ(mig::max_migratable_frames(home, tid, {}), 5);
+  // Pin fib itself: nothing migratable (socket-holder scenario).
+  EXPECT_EQ(mig::max_migratable_frames(home, tid, {fib}), 0);
+  home.ti().set_debug_enabled(false);
+}
+
+TEST(Migrate, PauseAtNextMspAndOffload) {
+  auto p = prepped_fib();
+  uint16_t fib = p.find_method("Main.fib");
+  SodNode home("home", p, {});
+  SodNode dest("dest", p, {});
+  int tid = home.vm().spawn(fib, std::vector<Value>{Value::of_i64(14)});
+  // Run a random-ish amount, then pause at the next MSP.
+  home.run_guest(tid, 3000);
+  ASSERT_TRUE(mig::pause_at_next_msp(home, tid));
+  int depth = static_cast<int>(home.vm().thread(tid).frames.size());
+  int nframes = std::max(1, depth / 2);
+  mig::offload_and_return(home, tid, nframes, dest, sim::Link::gigabit());
+  home.ti().set_debug_enabled(false);
+  auto rr = home.run_guest(tid);
+  ASSERT_EQ(rr.reason, svm::StopReason::Done);
+  EXPECT_EQ(home.vm().thread(tid).result.as_i64(), fib_ref(14));
+}
+
+TEST(Migrate, CapturedStateSerializationRoundTrip) {
+  auto p = prepped_fib();
+  uint16_t fib = p.find_method("Main.fib");
+  SodNode home("home", p, {});
+  int tid = home.vm().spawn(fib, std::vector<Value>{Value::of_i64(10)});
+  ASSERT_TRUE(mig::pause_at_depth(home, tid, fib, 4));
+  auto cs = mig::capture_segment(home, tid, mig::SegmentSpec{0, 4});
+  home.ti().set_debug_enabled(false);
+
+  ByteWriter w;
+  cs.serialize(w);
+  EXPECT_EQ(w.size(), cs.wire_size());
+  ByteReader r(w.bytes());
+  auto cs2 = mig::CapturedState::deserialize(r);
+  ASSERT_EQ(cs2.frames.size(), cs.frames.size());
+  for (size_t i = 0; i < cs.frames.size(); ++i) {
+    EXPECT_EQ(cs2.frames[i].method, cs.frames[i].method);
+    EXPECT_EQ(cs2.frames[i].pc, cs.frames[i].pc);
+    EXPECT_EQ(cs2.frames[i].pending_callee, cs.frames[i].pending_callee);
+    ASSERT_EQ(cs2.frames[i].locals.size(), cs.frames[i].locals.size());
+    for (size_t k = 0; k < cs.frames[i].locals.size(); ++k)
+      EXPECT_TRUE(cs2.frames[i].locals[k].same_as(cs.frames[i].locals[k]));
+  }
+  ASSERT_EQ(cs2.statics.size(), cs.statics.size());
+}
+
+TEST(Migrate, TransferTimeScalesWithBandwidth) {
+  auto p = prepped_fib();
+  uint16_t fib = p.find_method("Main.fib");
+  VDur fast_transfer, slow_transfer;
+  for (bool slow : {false, true}) {
+    SodNode home("home", p, {});
+    SodNode dest("dest", p, {});
+    int tid = home.vm().spawn(fib, std::vector<Value>{Value::of_i64(12)});
+    ASSERT_TRUE(mig::pause_at_depth(home, tid, fib, 4));
+    sim::Link link = slow ? sim::Link::wifi_kbps(128) : sim::Link::gigabit();
+    auto out = mig::offload_and_return(home, tid, 2, dest, link);
+    (slow ? slow_transfer : fast_transfer) = out.timing.transfer;
+  }
+  EXPECT_GT(slow_transfer.ns, 100 * fast_transfer.ns);
+}
+
+}  // namespace
+}  // namespace sod

@@ -1,0 +1,124 @@
+// Unit tests for the support layer: byte buffers, rng, vclock, stats.
+#include <gtest/gtest.h>
+
+#include "support/bytes.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/table.h"
+#include "support/vclock.h"
+
+namespace sod {
+namespace {
+
+TEST(Bytes, RoundTripScalars) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i32(-42);
+  w.i64(-1234567890123LL);
+  w.f64(3.25);
+  w.str("hello");
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123LL);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.25);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, PatchU32) {
+  ByteWriter w;
+  w.u32(0);
+  w.u8(7);
+  w.patch_u32(0, 0xCAFEBABE);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u32(), 0xCAFEBABEu);
+  EXPECT_EQ(r.u8(), 7);
+}
+
+TEST(Bytes, EmptyString) {
+  ByteWriter w;
+  w.str("");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str(), "");
+}
+
+TEST(Bytes, SeekAndRemaining) {
+  ByteWriter w;
+  w.u32(1);
+  w.u32(2);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.seek(4);
+  EXPECT_EQ(r.u32(), 2u);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, RangeBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(VClock, AdvanceAndWait) {
+  VClock c;
+  EXPECT_EQ(c.now().ns, 0);
+  c.advance(VDur::millis(2));
+  EXPECT_DOUBLE_EQ(c.now().ms(), 2.0);
+  c.wait_until(VDur::millis(1));  // already past; no-op
+  EXPECT_DOUBLE_EQ(c.now().ms(), 2.0);
+  c.wait_until(VDur::millis(5));
+  EXPECT_DOUBLE_EQ(c.now().ms(), 5.0);
+}
+
+TEST(VDur, UnitsAndArithmetic) {
+  EXPECT_EQ(VDur::seconds(1.5).ns, 1'500'000'000);
+  EXPECT_EQ(VDur::micros(3).ns, 3000);
+  EXPECT_DOUBLE_EQ((VDur::millis(2) + VDur::millis(3)).ms(), 5.0);
+  EXPECT_LT(VDur::millis(1), VDur::millis(2));
+}
+
+TEST(Stats, Moments) {
+  Stats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), 1.2909944, 1e-6);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"a", "bbbb"});
+  t.row({"xx", "y"});
+  std::string s = t.str();
+  EXPECT_NE(s.find("a   bbbb"), std::string::npos);
+  EXPECT_NE(s.find("xx  y"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sod

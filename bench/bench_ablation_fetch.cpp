@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bytecode/builder.h"
+#include "cli/scenario.h"
 #include "prep/prep.h"
 #include "sod/migrate.h"
 #include "support/table.h"
@@ -60,18 +61,18 @@ bc::Program touch_program() {
   return pb.build();
 }
 
-}  // namespace
-
-int main() {
+int run(const cli::ScenarioOptions& opt) {
   std::printf("=== Ablation: on-demand faulting vs eager copy, by touched fraction ===\n");
   bc::Program p = touch_program();
   prep::preprocess_program(p);
-  const int N = 200;
+  const int N = opt.smoke ? 40 : 200;
   sim::Link link = sim::Link::gigabit();
 
+  std::vector<int> touch_points = opt.smoke ? std::vector<int>{1, 10, 40}
+                                            : std::vector<int>{1, 10, 50, 100, 200};
   Table t({"touched", "SOD faults", "SOD fetched B", "SOD net (ms)", "eager copy B",
            "eager net (ms)", "winner"});
-  for (int touched : {1, 10, 50, 100, 200}) {
+  for (int touched : touch_points) {
     SodNode home("home", p, {});
     SodNode dest("dest", p, {});
     Value head = home.call_guest("M.build", std::vector<Value>{Value::of_i64(N)});
@@ -95,5 +96,10 @@ int main() {
   t.print();
   std::printf("\nShape: SOD wins when the migrated code touches a small fraction of the\n"
               "heap (FFT/Fib/NQ); eager copy wins when everything is touched (TSP).\n");
-  return 0;
+  return cli::maybe_write_json(opt, "ablation_fetch", t) ? 0 : 1;
 }
+
+SOD_REGISTER_SCENARIO("ablation_fetch", cli::ScenarioKind::Bench,
+                      "Ablation — on-demand faulting vs eager heap copy", run);
+
+}  // namespace

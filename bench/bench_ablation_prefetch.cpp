@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bytecode/builder.h"
+#include "cli/scenario.h"
 #include "prep/prep.h"
 #include "sod/migrate.h"
 #include "support/table.h"
@@ -54,16 +55,16 @@ bc::Program list_walk_program() {
   return pb.build();
 }
 
-}  // namespace
-
-int main() {
-  std::printf("=== Ablation: reachability prefetch depth (256-node list walk) ===\n");
+int run(const cli::ScenarioOptions& opt) {
+  const int kN = opt.smoke ? 64 : 256;
+  std::printf("=== Ablation: reachability prefetch depth (%d-node list walk) ===\n", kN);
   bc::Program p = list_walk_program();
   prep::preprocess_program(p);
-  const int kN = 256;
 
+  std::vector<int> depths = opt.smoke ? std::vector<int>{0, 1, 4}
+                                      : std::vector<int>{0, 1, 2, 4, 8, 16};
   Table t({"prefetch depth", "round trips", "prefetched", "bytes", "worker time (ms)"});
-  for (int depth : {0, 1, 2, 4, 8, 16}) {
+  for (int depth : depths) {
     SodNode home("home", p, {});
     SodNode dest("dest", p, {});
     Value head = home.call_guest("M.build", std::vector<Value>{Value::of_i64(kN)});
@@ -88,5 +89,10 @@ int main() {
   t.print();
   std::printf("\nShape: each level of prefetch cuts round trips ~proportionally; bytes\n"
               "stay flat because the walk touches every node anyway.\n");
-  return 0;
+  return cli::maybe_write_json(opt, "ablation_prefetch", t) ? 0 : 1;
 }
+
+SOD_REGISTER_SCENARIO("ablation_prefetch", cli::ScenarioKind::Bench,
+                      "Ablation — reachability prefetch depth sweep", run);
+
+}  // namespace

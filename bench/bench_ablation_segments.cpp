@@ -4,6 +4,7 @@
 // top segment").
 #include <cstdio>
 
+#include "cli/scenario.h"
 #include "prep/prep.h"
 #include "sod/migrate.h"
 #include "support/table.h"
@@ -13,19 +14,25 @@ using namespace sod;
 using bc::Value;
 using mig::SodNode;
 
-int main() {
-  std::printf("=== Ablation: migrated segment size (top-k frames of a depth-20 stack) ===\n");
+namespace {
+
+int run(const cli::ScenarioOptions& opt) {
+  const int kDepth = opt.smoke ? 12 : 20;
+  const int kMaxSeg = opt.smoke ? 3 : 10;
+  const int64_t kFibArg = opt.smoke ? 22 : 30;
+  std::printf("=== Ablation: migrated segment size (top-k frames of a depth-%d stack) ===\n",
+              kDepth);
   auto p = sod::testing::fib_program();
   prep::preprocess_program(p);
   uint16_t fib = p.find_method("Main.fib");
 
   Table t({"k frames", "state bytes", "capture (ms)", "transfer (ms)", "restore (ms)",
            "latency (ms)"});
-  for (int k = 1; k <= 10; ++k) {
+  for (int k = 1; k <= kMaxSeg; ++k) {
     SodNode home("home", p, {});
     SodNode dest("dest", p, {});
-    int tid = home.vm().spawn(fib, std::vector<Value>{Value::of_i64(30)});
-    SOD_CHECK(mig::pause_at_depth(home, tid, fib, 20), "depth");
+    int tid = home.vm().spawn(fib, std::vector<Value>{Value::of_i64(kFibArg)});
+    SOD_CHECK(mig::pause_at_depth(home, tid, fib, kDepth), "depth");
 
     VDur t0 = home.node().clock.now();
     auto cs = mig::capture_segment(home, tid, mig::SegmentSpec{0, k});
@@ -53,5 +60,10 @@ int main() {
   t.print();
   std::printf("\nShape: every component grows with k; shipping only the top frame is the\n"
               "lightest migration, at the cost of later return-to-home hops.\n");
-  return 0;
+  return cli::maybe_write_json(opt, "ablation_segments", t) ? 0 : 1;
 }
+
+SOD_REGISTER_SCENARIO("ablation_segments", cli::ScenarioKind::Bench,
+                      "Ablation — migrated segment size sweep (top-k frames)", run);
+
+}  // namespace

@@ -6,6 +6,7 @@
 //       segment restores while the upper one is still executing.
 #include <cstdio>
 
+#include "cli/scenario.h"
 #include "prep/prep.h"
 #include "sod/migrate.h"
 #include "support/table.h"
@@ -23,7 +24,7 @@ bc::Program prepped_fib() {
   return p;
 }
 
-void scenario_a() {
+void scenario_a(Table& summary) {
   std::printf("--- Fig 1(a): migrate top frame, execute, return to home ---\n");
   auto p = prepped_fib();
   uint16_t fib = p.find_method("Main.fib");
@@ -43,9 +44,12 @@ void scenario_a() {
               static_cast<long long>(sod::testing::fib_ref(20)));
   std::printf("  home time %.3f ms, dest time %.3f ms\n", (home.node().clock.now() - t0).ms(),
               dest.node().clock.now().ms());
+  summary.row({"1a top-frame offload", std::to_string(home.vm().thread(tid).result.as_i64()),
+               std::to_string(sod::testing::fib_ref(20)),
+               fmt("%.3f", out.timing.latency().ms())});
 }
 
-void scenario_b() {
+void scenario_b(Table& summary) {
   std::printf("--- Fig 1(b): total migration (residual frames pushed after the top) ---\n");
   auto p = prepped_fib();
   uint16_t fib = p.find_method("Main.fib");
@@ -68,9 +72,12 @@ void scenario_b() {
   std::printf("  final result at node2 (no return to node1): %lld (expected %lld)\n",
               static_cast<long long>(final.as_i64()),
               static_cast<long long>(sod::testing::fib_ref(20)));
+  summary.row({"1b total migration", std::to_string(final.as_i64()),
+               std::to_string(sod::testing::fib_ref(20)),
+               fmt("%.3f", dest.node().clock.now().ms())});
 }
 
-void scenario_c() {
+void scenario_c(Table& summary) {
   std::printf("--- Fig 1(c): workflow — segments on node2 and node3, control 1->2->3 ---\n");
   auto p = prepped_fib();
   uint16_t fib = p.find_method("Main.fib");
@@ -114,14 +121,26 @@ void scenario_c() {
   std::printf("  final result at node3: %lld (expected %lld)\n",
               static_cast<long long>(final.as_i64()),
               static_cast<long long>(sod::testing::fib_ref(22)));
+  summary.row({"1c multi-domain workflow", std::to_string(final.as_i64()),
+               std::to_string(sod::testing::fib_ref(22)),
+               fmt("%.3f", n3.node().clock.now().ms())});
 }
+
+int run(const cli::ScenarioOptions& opt) {
+  std::printf("=== Fig. 1: elastic live migration with flexible execution paths ===\n");
+  Table summary({"Scenario", "result", "expected", "node time (ms)"});
+  scenario_a(summary);
+  scenario_b(summary);
+  scenario_c(summary);
+  std::printf("\n");
+  summary.print();
+  bool ok = true;
+  for (const auto& r : summary.rows()) ok = ok && r[1] == r[2];
+  if (!ok) std::fprintf(stderr, "fig1: scenario result mismatch\n");
+  return (ok && cli::maybe_write_json(opt, "fig1", summary)) ? 0 : 1;
+}
+
+SOD_REGISTER_SCENARIO("fig1", cli::ScenarioKind::Bench,
+                      "Fig. 1 — the three SOD execution paths", run);
 
 }  // namespace
-
-int main() {
-  std::printf("=== Fig. 1: elastic live migration with flexible execution paths ===\n");
-  scenario_a();
-  scenario_b();
-  scenario_c();
-  return 0;
-}

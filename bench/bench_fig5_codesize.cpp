@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "bytecode/builder.h"
+#include "cli/scenario.h"
 #include "prep/prep.h"
 #include "support/table.h"
 
@@ -45,9 +46,7 @@ size_t geometry_class_size(const bc::Program& p) {
   return p.class_image(p.find_class("Geometry")).size();
 }
 
-}  // namespace
-
-int main() {
+int run(const cli::ScenarioOptions& opt) {
   std::printf("=== Fig. 5: class image size under each miss-detection scheme ===\n");
 
   bc::Program orig = geometry();
@@ -69,7 +68,7 @@ int main() {
   prep::PrepReport frep = prep::preprocess_program(faults, fo);
 
   bc::Program full = geometry();
-  prep::PrepReport full_rep = prep::preprocess_program(full);
+  prep::preprocess_program(full);
 
   size_t so = geometry_class_size(orig);
   size_t sc = geometry_class_size(checks);
@@ -95,5 +94,10 @@ int main() {
       "Shape: both instrumentations grow the class; faulting trades space for zero\n"
       "inline cost (Table V).  Our fixed-width immediates make the check sequences\n"
       "relatively bulkier than javac's — see EXPERIMENTS.md.\n");
-  return 0;
+  return cli::maybe_write_json(opt, "fig5", t) ? 0 : 1;
 }
+
+SOD_REGISTER_SCENARIO("fig5", cli::ScenarioKind::Bench,
+                      "Fig. 5 — instrumentation space overhead on the Geometry class", run);
+
+}  // namespace

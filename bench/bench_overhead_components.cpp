@@ -3,19 +3,27 @@
 // modelled).  The paper reports C0 in 0.10%..1.45% and C1 in 0.1%..3.2%.
 #include <cstdio>
 
+#include "cli/smoke.h"
 #include "sodee/experiment.h"
 #include "support/table.h"
 
 using namespace sod;
 
-int main() {
+namespace {
+
+int run(const cli::ScenarioOptions& opt) {
   std::printf("=== Overhead components C0/C1 (Section IV.A) ===\n");
   Table t({"App", "C0 instrumentation (measured)", "C1 agent (modelled)"});
-  for (const apps::AppSpec& spec : apps::table1_apps()) {
+  for (const apps::AppSpec& spec : cli::table1_apps_for(opt)) {
     sodee::MeasuredApp m = sodee::measure_app(spec);
     t.row({spec.name, fmt("%.2f%%", m.c0 * 100), fmt("%.2f%%", m.c1 * 100)});
   }
   t.print();
   std::printf("\nPaper reference: C0 in 0.10%%..1.45%%, C1 in 0.10%%..3.20%%.\n");
-  return 0;
+  return cli::maybe_write_json(opt, "overhead_components", t) ? 0 : 1;
 }
+
+SOD_REGISTER_SCENARIO("overhead_components", cli::ScenarioKind::Bench,
+                      "Section IV.A — C0/C1 overhead components", run);
+
+}  // namespace

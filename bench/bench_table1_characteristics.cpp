@@ -2,6 +2,7 @@
 // accumulated local+static field bytes F, measured at paper scale.
 #include <cstdio>
 
+#include "cli/smoke.h"
 #include "prep/prep.h"
 #include "sod/migrate.h"
 #include "sodee/experiment.h"
@@ -9,10 +10,12 @@
 
 using namespace sod;
 
-int main() {
+namespace {
+
+int run(const cli::ScenarioOptions& opt) {
   std::printf("=== Table I: program characteristics (measured at paper scale) ===\n");
   Table t({"App", "n", "h (paper)", "h (measured)", "F (paper)", "F (measured bytes)"});
-  for (const apps::AppSpec& spec : apps::table1_apps()) {
+  for (const apps::AppSpec& spec : cli::table1_apps_for(opt)) {
     bc::Program p = spec.build();
     prep::preprocess_program(p);
     mig::SodNode home("home", p, {});
@@ -40,5 +43,10 @@ int main() {
   }
   t.print();
   std::printf("\nPaper shape check: Fib/NQ deep stacks with tiny F; FFT F > 64 MB; TSP ~2.5 KB.\n");
-  return 0;
+  return cli::maybe_write_json(opt, "table1", t) ? 0 : 1;
 }
+
+SOD_REGISTER_SCENARIO("table1", cli::ScenarioKind::Bench,
+                      "Table I — program characteristics at paper scale", run);
+
+}  // namespace

@@ -3,16 +3,19 @@
 // EXPERIMENTS.md for the calibration policy).
 #include <cstdio>
 
+#include "cli/smoke.h"
 #include "sodee/experiment.h"
 #include "support/table.h"
 
 using namespace sod;
 
-int main() {
+namespace {
+
+int run(const cli::ScenarioOptions& opt) {
   std::printf("=== Table II: execution time (s) with and without migration ===\n");
   Table t({"App", "JDK", "SODEE no-mig", "SODEE mig", "G-JavaMPI no-mig", "G-JavaMPI mig",
            "JESSICA2 no-mig", "JESSICA2 mig", "Xen no-mig", "Xen mig"});
-  for (const apps::AppSpec& spec : apps::table1_apps()) {
+  for (const apps::AppSpec& spec : cli::table1_apps_for(opt)) {
     sodee::MeasuredApp m = sodee::measure_app(spec);
     sodee::OverheadRow r = sodee::overhead_row(m);
     t.row({r.app, fmt("%.2f", r.jdk_s), fmt("%.2f", r.sodee_nomig_s), fmt("%.2f", r.sodee_mig_s),
@@ -23,5 +26,10 @@ int main() {
   std::printf(
       "\nPaper reference (s): Fib 12.10/12.13/12.19 | NQ 6.26/6.38/6.41 | "
       "FFT 12.39/12.60/12.71 | TSP 2.92/3.04/3.22 (JDK/SODEE no-mig/mig)\n");
-  return 0;
+  return cli::maybe_write_json(opt, "table2", t) ? 0 : 1;
 }
+
+SOD_REGISTER_SCENARIO("table2", cli::ScenarioKind::Bench,
+                      "Table II — execution time per system with/without migration", run);
+
+}  // namespace

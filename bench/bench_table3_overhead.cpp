@@ -3,15 +3,18 @@
 // wins when the migrated frame touches every object); Xen seconds-scale.
 #include <cstdio>
 
+#include "cli/smoke.h"
 #include "sodee/experiment.h"
 #include "support/table.h"
 
 using namespace sod;
 
-int main() {
+namespace {
+
+int run(const cli::ScenarioOptions& opt) {
   std::printf("=== Table III: migration overhead (ms, %% of no-mig runtime) ===\n");
   Table t({"App", "SODEE", "G-JavaMPI", "JESSICA2", "Xen"});
-  for (const apps::AppSpec& spec : apps::table1_apps()) {
+  for (const apps::AppSpec& spec : cli::table1_apps_for(opt)) {
     sodee::MeasuredApp m = sodee::measure_app(spec);
     sodee::OverheadRow r = sodee::overhead_row(m);
     auto cell = [](double ms, double base_s) {
@@ -26,5 +29,10 @@ int main() {
       "\nPaper reference (ms): Fib 52/156/123/3695 | NQ 32/307/195/4906 | "
       "FFT 105/2544/2494/7160 | TSP 178/142/922/6450 (SODEE/G-JavaMPI/JESSICA2/Xen)\n"
       "Shape: SODEE lowest on Fib/NQ/FFT; G-JavaMPI wins TSP; Xen worst everywhere.\n");
-  return 0;
+  return cli::maybe_write_json(opt, "table3", t) ? 0 : 1;
 }
+
+SOD_REGISTER_SCENARIO("table3", cli::ScenarioKind::Bench,
+                      "Table III — migration overhead per system", run);
+
+}  // namespace

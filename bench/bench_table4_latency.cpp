@@ -3,16 +3,19 @@
 // exactly as in the paper (pre-copy latency is seconds-scale by design).
 #include <cstdio>
 
+#include "cli/smoke.h"
 #include "sodee/experiment.h"
 #include "support/table.h"
 
 using namespace sod;
 
-int main() {
+namespace {
+
+int run(const cli::ScenarioOptions& opt) {
   std::printf("=== Table IV: migration latency breakdown (ms) ===\n");
   Table t({"App", "SOD cap", "SOD xfer", "SOD rest", "SOD total", "GJ cap", "GJ xfer", "GJ rest",
            "GJ total", "J2 cap", "J2 xfer", "J2 rest", "J2 total"});
-  for (const apps::AppSpec& spec : apps::table1_apps()) {
+  for (const apps::AppSpec& spec : cli::table1_apps_for(opt)) {
     sodee::MeasuredApp m = sodee::measure_app(spec);
     t.row({spec.name, fmt("%.2f", m.sod.capture.ms()), fmt("%.2f", m.sod.transfer.ms()),
            fmt("%.2f", m.sod.restore.ms()), fmt("%.2f", m.sod.latency().ms()),
@@ -27,5 +30,10 @@ int main() {
       "FFT 12.33/2470.15/74.08 | TSP 15.23/95.98/9.90 (SOD/G-JavaMPI/JESSICA2)\n"
       "Shape: J2 fastest capture; SOD runner-up and flat in data size; G-JavaMPI scales\n"
       "with frames+heap; J2's FFT restore blows up on the 64 MB static allocation.\n");
-  return 0;
+  return cli::maybe_write_json(opt, "table4", t) ? 0 : 1;
 }
+
+SOD_REGISTER_SCENARIO("table4", cli::ScenarioKind::Bench,
+                      "Table IV — migration latency breakdown (capture/transfer/restore)", run);
+
+}  // namespace

@@ -9,6 +9,7 @@
 #include <chrono>
 
 #include "bytecode/builder.h"
+#include "cli/scenario.h"
 #include "prep/prep.h"
 #include "sod/objman.h"
 #include "support/table.h"
@@ -127,11 +128,10 @@ void access_bench(benchmark::State& state, Variant v, const char* method) {
   state.SetItemsProcessed(state.iterations() * kInner);
 }
 
-double ns_per_access(Variant v, const char* method) {
+double ns_per_access(Variant v, const char* method, int reps) {
   Rt rt(v);
   rt.run(method, kInner);  // warm up
   auto t0 = std::chrono::steady_clock::now();
-  int reps = 40;
   for (int i = 0; i < reps; ++i) benchmark::DoNotOptimize(rt.run(method, kInner));
   auto t1 = std::chrono::steady_clock::now();
   return std::chrono::duration<double, std::nano>(t1 - t0).count() / (reps * kInner);
@@ -152,15 +152,25 @@ BENCHMARK_CAPTURE(access_bench, static_write_original, Variant::Original, "B.swr
 BENCHMARK_CAPTURE(access_bench, static_write_faulting, Variant::Faulting, "B.swrite");
 BENCHMARK_CAPTURE(access_bench, static_write_checking, Variant::Checking, "B.swrite");
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_scenario(const cli::ScenarioOptions& opt) {
   // Interpreter-heavy benchmarks converge quickly; keep the default run
-  // short so the whole bench suite stays interactive.
-  std::vector<char*> args(argv, argv + argc);
-  char min_time[] = "--benchmark_min_time=0.1s";
-  if (argc == 1) args.push_back(min_time);
-  int args_n = static_cast<int>(args.size());
-  benchmark::Initialize(&args_n, args.data());
-  benchmark::RunSpecifiedBenchmarks();
+  // short so the whole bench suite stays interactive.  Smoke runs skip
+  // the google-benchmark pass entirely and measure the table with a
+  // handful of reps.
+  if (!opt.smoke) {
+    std::vector<std::string> arg_strs = {"bench_table5_objfault"};
+    for (const std::string& a : opt.extra) arg_strs.push_back(a);
+    if (opt.extra.empty()) arg_strs.push_back("--benchmark_min_time=0.1s");
+    std::vector<char*> args;
+    args.reserve(arg_strs.size());
+    for (std::string& a : arg_strs) args.push_back(a.data());
+    int args_n = static_cast<int>(args.size());
+    benchmark::Initialize(&args_n, args.data());
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  int reps = opt.smoke ? 2 : 40;
 
   std::printf("\n=== Table V: per-access cost (ns, real time) and slowdown ===\n");
   Table t({"Access type", "Original", "Obj faulting", "Obj checking", "Faulting slowdown",
@@ -173,9 +183,9 @@ int main(int argc, char** argv) {
               {"Static read", "B.sread"},
               {"Static write", "B.swrite"}};
   for (const Row& r : rows) {
-    double orig = ns_per_access(Variant::Original, r.method);
-    double fault = ns_per_access(Variant::Faulting, r.method);
-    double check = ns_per_access(Variant::Checking, r.method);
+    double orig = ns_per_access(Variant::Original, r.method, reps);
+    double fault = ns_per_access(Variant::Faulting, r.method, reps);
+    double check = ns_per_access(Variant::Checking, r.method, reps);
     t.row({r.label, fmt("%.2f", orig), fmt("%.2f", fault), fmt("%.2f", check),
            fmt("%+.2f%%", (fault / orig - 1) * 100), fmt("%+.2f%%", (check / orig - 1) * 100)});
   }
@@ -183,5 +193,10 @@ int main(int argc, char** argv) {
   std::printf(
       "\nPaper reference: faulting +2.1%%..+7.7%% vs checking +21.6%%..+253.8%%.\n"
       "Shape: faulting ~free, checking pays field-load+compare+branch per access.\n");
-  return 0;
+  return cli::maybe_write_json(opt, "table5", t) ? 0 : 1;
 }
+
+SOD_REGISTER_SCENARIO("table5", cli::ScenarioKind::Bench,
+                      "Table V — per-access miss-detection cost (real time)", run_scenario);
+
+}  // namespace

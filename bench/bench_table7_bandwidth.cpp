@@ -2,14 +2,19 @@
 // bandwidth (photo-share app over a throttled Wi-Fi link).
 #include <cstdio>
 
+#include "cli/scenario.h"
 #include "sodee/experiment.h"
 #include "support/table.h"
 
 using namespace sod;
 
-int main() {
+namespace {
+
+int run(const cli::ScenarioOptions& opt) {
   std::printf("=== Table VII: migration latency vs available bandwidth (photo share) ===\n");
-  auto rows = sodee::run_bandwidth_experiment();
+  std::vector<double> kbps = {50, 128, 384, 764};
+  if (opt.smoke) kbps = {384};
+  auto rows = sodee::run_bandwidth_experiment(kbps);
   Table t({"Bandwidth (kbps)", "Capture (ms)", "State xfer (ms)", "Class xfer (ms)",
            "Restore (ms)", "Latency (ms)"});
   for (const auto& r : rows)
@@ -21,5 +26,10 @@ int main() {
       "764 -> 716.50.\n"
       "Shape: transfer scales with 1/bandwidth; capture and restore are flat; device\n"
       "restore (Java-level, no JVMTI) far exceeds cluster restore.\n");
-  return 0;
+  return cli::maybe_write_json(opt, "table7", t) ? 0 : 1;
 }
+
+SOD_REGISTER_SCENARIO("table7", cli::ScenarioKind::Bench,
+                      "Table VII — migration latency to a device vs bandwidth", run);
+
+}  // namespace

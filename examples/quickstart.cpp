@@ -6,6 +6,7 @@
 
 #include "bytecode/builder.h"
 #include "bytecode/disasm.h"
+#include "cli/scenario.h"
 #include "prep/prep.h"
 #include "sod/migrate.h"
 
@@ -14,7 +15,10 @@ using bc::Label;
 using bc::Ty;
 using bc::Value;
 
-int main() {
+namespace {
+
+int run(const cli::ScenarioOptions& opt) {
+  const int64_t kN = opt.smoke ? 18 : 25;
   // 1. Write a guest program with the builder (this plays javac).
   bc::ProgramBuilder pb;
   auto& f = pb.cls("Demo").method("fib", {{"n", Ty::I64}}, Ty::I64);
@@ -42,7 +46,7 @@ int main() {
 
   // 4. Run at home until the recursion is 8 frames deep.
   uint16_t fib = prog.find_method("Demo.fib");
-  int tid = home.vm().spawn(fib, std::vector<Value>{Value::of_i64(25)});
+  int tid = home.vm().spawn(fib, std::vector<Value>{Value::of_i64(kN)});
   mig::pause_at_depth(home, tid, fib, 8);
   std::printf("paused at depth %zu; offloading the top frame to %s...\n",
               home.vm().thread(tid).frames.size(), cloud.name().c_str());
@@ -57,7 +61,12 @@ int main() {
 
   home.ti().set_debug_enabled(false);
   home.run_guest(tid);
-  std::printf("final result at home: fib(25) = %lld\n",
+  std::printf("final result at home: fib(%lld) = %lld\n", static_cast<long long>(kN),
               static_cast<long long>(home.vm().thread(tid).result.as_i64()));
   return 0;
 }
+
+SOD_REGISTER_SCENARIO("quickstart", cli::ScenarioKind::Example,
+                      "minimal end-to-end SOD loop: build, prep, offload, resume", run);
+
+}  // namespace

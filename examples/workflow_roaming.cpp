@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bytecode/builder.h"
+#include "cli/scenario.h"
 #include "prep/prep.h"
 #include "sod/migrate.h"
 
@@ -48,9 +49,7 @@ bc::Program pipeline_program() {
   return pb.build();
 }
 
-}  // namespace
-
-int main() {
+int run(const cli::ScenarioOptions&) {
   bc::Program prog = pipeline_program();
   prep::preprocess_program(prog);
 
@@ -99,3 +98,8 @@ int main() {
               static_cast<long long>(final.as_i64()), static_cast<long long>(want));
   return final.as_i64() == want ? 0 : 1;
 }
+
+SOD_REGISTER_SCENARIO("workflow_roaming", cli::ScenarioKind::Example,
+                      "multi-domain workflow split across two cloud nodes (Fig. 1c)", run);
+
+}  // namespace

@@ -12,42 +12,67 @@ std::string disasm_instr(const Program& p, const Method& m, uint32_t pc) {
   Instr in = decode(m.code, pc);
   const OpInfo& info = op_info(in.op);
   std::string out = num(pc) + ": " + info.name;
+  // Appends piecewise rather than via `"lit" + std::string` temporaries
+  // (which also trips gcc 12's -Wrestrict false positive, PR 105651).
   switch (info.operands) {
     case OperKind::None: break;
-    case OperKind::I64: out += " " + num(in.imm_i); break;
+    case OperKind::I64: out += ' '; out += num(in.imm_i); break;
     case OperKind::F64: {
       char buf[32];
       std::snprintf(buf, sizeof buf, " %g", in.imm_d);
       out += buf;
       break;
     }
-    case OperKind::U8: out += " " + num(in.arg); break;
+    case OperKind::U8: out += ' '; out += num(in.arg); break;
     case OperKind::U16:
-      out += " " + num(in.arg);
+      out += ' ';
+      out += num(in.arg);
       switch (in.op) {
         case Op::GETFIELD: case Op::PUTFIELD: case Op::GETSTATIC: case Op::PUTSTATIC:
-          if (in.arg < p.fields.size()) out += " ;" + p.field(static_cast<uint16_t>(in.arg)).name;
+          if (in.arg < p.fields.size()) {
+            out += " ;";
+            out += p.field(static_cast<uint16_t>(in.arg)).name;
+          }
           break;
         case Op::INVOKE:
-          if (in.arg < p.methods.size()) out += " ;" + p.method(static_cast<uint16_t>(in.arg)).name;
+          if (in.arg < p.methods.size()) {
+            out += " ;";
+            out += p.method(static_cast<uint16_t>(in.arg)).name;
+          }
           break;
         case Op::INVOKENATIVE:
-          if (in.arg < p.natives.size()) out += " ;" + p.natives[in.arg].name;
+          if (in.arg < p.natives.size()) {
+            out += " ;";
+            out += p.natives[in.arg].name;
+          }
           break;
         case Op::NEW:
-          if (in.arg < p.classes.size()) out += " ;" + p.cls(static_cast<uint16_t>(in.arg)).name;
+          if (in.arg < p.classes.size()) {
+            out += " ;";
+            out += p.cls(static_cast<uint16_t>(in.arg)).name;
+          }
           break;
         case Op::LDC_STR:
-          if (in.arg < p.strings.size()) out += " ;\"" + p.strings[in.arg] + "\"";
+          if (in.arg < p.strings.size()) {
+            out += " ;\"";
+            out += p.strings[in.arg];
+            out += '"';
+          }
           break;
         default: break;
       }
       break;
-    case OperKind::Target: out += " -> " + num(in.arg); break;
+    case OperKind::Target: out += " -> "; out += num(in.arg); break;
     case OperKind::Switch: {
       SwitchInfo si = decode_switch(m.code, pc);
-      out += " default -> " + num(si.default_target);
-      for (auto& [k, t] : si.pairs) out += ", " + num(k) + " -> " + num(t);
+      out += " default -> ";
+      out += num(si.default_target);
+      for (auto& [k, t] : si.pairs) {
+        out += ", ";
+        out += num(k);
+        out += " -> ";
+        out += num(t);
+      }
       break;
     }
   }

@@ -1,0 +1,91 @@
+// Scenario registry — every app, bench, and example registers itself here
+// at static-init time, so `sodctl` (and the per-scenario standalone
+// binaries) drive them through one API.  Future workloads are added by
+// registering a struct, not by writing a new main().
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace sod {
+class Table;
+}
+
+namespace sod::cli {
+
+enum class ScenarioKind { App, Bench, Example };
+
+const char* kind_name(ScenarioKind k);
+
+/// Options shared by every scenario entry point.  Scenarios are free to
+/// ignore fields that do not apply to them.
+struct ScenarioOptions {
+  /// Tiny iteration counts / problem sizes for CI smoke runs.
+  bool smoke = false;
+  /// Node count for scenarios that spin up a cluster (0 = scenario default).
+  int nodes = 0;
+  /// When non-empty, bench scenarios write their result table here as
+  /// schema-stable JSON (see Table::json).
+  std::string json_path;
+  /// Unparsed passthrough arguments (e.g. google-benchmark flags).
+  std::vector<std::string> extra;
+};
+
+struct Scenario {
+  std::string name;
+  ScenarioKind kind = ScenarioKind::Bench;
+  std::string description;
+  std::function<int(const ScenarioOptions&)> run;
+};
+
+class ScenarioRegistry {
+ public:
+  static ScenarioRegistry& instance();
+
+  /// Registers a scenario; panics on duplicate names.
+  void add(Scenario s);
+
+  /// Looks up a scenario by exact name; nullptr when absent.
+  const Scenario* find(const std::string& name) const;
+
+  /// All scenarios sorted by (kind, name).
+  std::vector<const Scenario*> all() const;
+
+  /// For "unknown scenario" diagnostics: names closest to `name`.
+  std::vector<std::string> suggestions(const std::string& name) const;
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+/// Registers `s` with the global registry from a static initializer.
+struct ScenarioRegistrar {
+  ScenarioRegistrar(std::string name, ScenarioKind kind, std::string description,
+                    std::function<int(const ScenarioOptions&)> run);
+};
+
+#define SOD_CLI_CAT2(a, b) a##b
+#define SOD_CLI_CAT(a, b) SOD_CLI_CAT2(a, b)
+
+/// File-scope registration: SOD_REGISTER_SCENARIO("table2",
+/// ScenarioKind::Bench, "Table II ...", run_fn);
+#define SOD_REGISTER_SCENARIO(name, kind, desc, fn)                             \
+  [[maybe_unused]] static const ::sod::cli::ScenarioRegistrar SOD_CLI_CAT(      \
+      sod_scenario_reg_, __LINE__)(name, kind, desc, fn)
+
+/// Writes `t` to opt.json_path when set (bench scenarios call this after
+/// printing).  Returns false (with a message on stderr) if the file could
+/// not be written.
+bool maybe_write_json(const ScenarioOptions& opt, const std::string& bench_name,
+                      const Table& t);
+
+/// Shared flag parsing for sodctl and the standalone scenario binaries.
+/// Understands --smoke, --nodes N, --json [path] and collects the rest
+/// into opt.extra.  Returns false on malformed flags (message on stderr).
+/// `default_json_name` fills json_path when --json is given without a
+/// value ("" disables the bare form).
+bool parse_scenario_flags(const std::vector<std::string>& args, ScenarioOptions& opt,
+                          const std::string& default_json_name);
+
+}  // namespace sod::cli

@@ -1,0 +1,153 @@
+// App scenarios — the Table I guest apps plus the Section IV workloads,
+// registered so `sodctl run fib --nodes 4` exercises a real multi-node
+// offload loop without a dedicated main().
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "cli/scenario.h"
+#include "prep/prep.h"
+#include "sod/migrate.h"
+
+namespace {
+
+using sod::apps::AppSpec;
+using sod::bc::Value;
+using sod::cli::ScenarioKind;
+using sod::cli::ScenarioOptions;
+using sod::mig::SodNode;
+
+/// Runs one Table I app at bench scale on a `opt.nodes`-node cluster
+/// (default 2): home plus workers; each worker gets one top-frame offload
+/// as the recursion re-reaches the trigger depth, then home finishes the
+/// residual computation and the result is checked against the app's
+/// expected value.
+int run_table1_app(const AppSpec& spec, const ScenarioOptions& opt) {
+  int nodes = opt.nodes > 0 ? opt.nodes : 2;
+  sod::bc::Program p = spec.build();
+  sod::prep::preprocess_program(p);
+
+  SodNode home("home", p, {});
+  std::vector<std::unique_ptr<SodNode>> workers;
+  for (int i = 1; i < nodes; ++i)
+    workers.push_back(std::make_unique<SodNode>("worker" + std::to_string(i), p,
+                                                SodNode::Config{}));
+
+  uint16_t trigger = p.find_method(spec.trigger_method);
+  int depth = std::min(spec.paper_depth, 4);
+  int tid = home.vm().spawn(p.find_method(spec.entry), spec.bench_args);
+
+  int hops = 0;
+  for (auto& w : workers) {
+    if (!sod::mig::pause_at_depth(home, tid, trigger, depth)) break;
+    auto out = sod::mig::offload_and_return(home, tid, 1, *w, sod::sim::Link::gigabit());
+    home.node().clock.wait_until(w->node().clock.now());
+    std::printf("offload %d -> %s: %.3f ms latency, %d object faults\n", hops,
+                w->name().c_str(), out.timing.latency().ms(), out.faults.faults);
+    home.ti().set_debug_enabled(false);
+    ++hops;
+  }
+  home.ti().set_debug_enabled(false);
+  auto rr = home.run_guest(tid);
+  if (rr.reason != sod::svm::StopReason::Done) {
+    std::fprintf(stderr, "%s: guest did not run to completion\n", spec.name.c_str());
+    return 1;
+  }
+  int64_t got = home.vm().thread(tid).result.as_i64();
+  std::printf("%s(%s) = %lld over %d node(s), %d offload hop(s), %.3f ms virtual\n",
+              spec.name.c_str(), std::to_string(spec.bench_args[0].as_i64()).c_str(),
+              static_cast<long long>(got), nodes, hops, home.node().clock.now().ms());
+  // FFT/TSP use INT64_MIN as "no closed-form expectation" (the tests check
+  // them against host-side references instead).
+  if (spec.bench_expected != INT64_MIN && got != spec.bench_expected) {
+    std::fprintf(stderr, "%s: expected %lld\n", spec.name.c_str(),
+                 static_cast<long long>(spec.bench_expected));
+    return 1;
+  }
+  return 0;
+}
+
+sod::sfs::FileStore doc_store(int nfiles, size_t bytes) {
+  sod::sfs::FileStore store;
+  for (int i = 0; i < nfiles; ++i) {
+    sod::sfs::SimFile f;
+    f.name = "doc" + std::to_string(i);
+    f.size = bytes;
+    f.seed = 42 + static_cast<uint64_t>(i);
+    f.needle = "sodneedle";
+    f.needle_at = bytes / 2 + static_cast<size_t>(i);
+    store.add(f);
+  }
+  return store;
+}
+
+int run_docsearch(const ScenarioOptions& opt) {
+  int nfiles = opt.smoke ? 1 : 3;
+  size_t bytes = opt.smoke ? (64 << 10) : (256 << 10);
+  sod::bc::Program p = sod::apps::build_docsearch();
+  sod::prep::preprocess_program(p);
+  sod::sfs::FileStore store = doc_store(nfiles, bytes);
+  SodNode node("n", p, {});
+  sod::mig::ObjectManager om;
+  om.install(node);
+  sod::sfs::MountedFs mount(&store, sod::sfs::MountSpeed::local_disk());
+  mount.install(node.registry());
+  Value hits = node.call_guest("Search.main",
+                               std::vector<Value>{Value::of_i64(nfiles)});
+  std::printf("docsearch: %lld/%d needles found, %zu bytes read, %.3f ms virtual\n",
+              static_cast<long long>(hits.as_i64()), nfiles, mount.bytes_read(),
+              node.node().clock.now().ms());
+  return hits.as_i64() == nfiles ? 0 : 1;
+}
+
+int run_photoshare(const ScenarioOptions& opt) {
+  int nphotos = opt.smoke ? 2 : 5;
+  sod::bc::Program p = sod::apps::build_photoshare();
+  sod::prep::preprocess_program(p);
+  sod::sfs::FileStore photos;
+  for (int i = 0; i < nphotos; ++i) {
+    sod::sfs::SimFile f;
+    f.name = "IMG_" + std::to_string(i) + ".jpg";
+    f.size = 100 << 10;
+    f.seed = 99 + static_cast<uint64_t>(i);
+    photos.add(f);
+  }
+  SodNode node("n", p, {});
+  sod::mig::ObjectManager om;
+  om.install(node);
+  sod::sfs::MountedFs mount(&photos, sod::sfs::MountSpeed::local_disk());
+  mount.install(node.registry());
+  int64_t count =
+      node.vm().call("Photo.count_photos", std::vector<Value>{Value::of_i64(10)}).as_i64();
+  int64_t size =
+      node.vm().call("Photo.photo_size", std::vector<Value>{Value::of_i64(1)}).as_i64();
+  std::printf("photoshare: %lld photos listed, photo #1 is %lld bytes\n",
+              static_cast<long long>(count), static_cast<long long>(size));
+  return count == nphotos && size == (100 << 10) ? 0 : 1;
+}
+
+int run_fib(const ScenarioOptions& opt) { return run_table1_app(sod::apps::fib_app(), opt); }
+int run_nqueens(const ScenarioOptions& opt) {
+  return run_table1_app(sod::apps::nqueens_app(), opt);
+}
+int run_fft(const ScenarioOptions& opt) { return run_table1_app(sod::apps::fft_app(), opt); }
+int run_tsp(const ScenarioOptions& opt) { return run_table1_app(sod::apps::tsp_app(), opt); }
+
+SOD_REGISTER_SCENARIO("fib", ScenarioKind::App,
+                      "recursive Fibonacci with multi-node top-frame offloads", run_fib);
+SOD_REGISTER_SCENARIO("nqueens", ScenarioKind::App,
+                      "n-queens backtracking with multi-node top-frame offloads", run_nqueens);
+SOD_REGISTER_SCENARIO("fft", ScenarioKind::App,
+                      "2-D FFT (large statics) with multi-node top-frame offloads", run_fft);
+SOD_REGISTER_SCENARIO("tsp", ScenarioKind::App,
+                      "TSP branch-and-bound with multi-node top-frame offloads", run_tsp);
+SOD_REGISTER_SCENARIO("docsearch", ScenarioKind::App,
+                      "document search over the simulated filesystem", run_docsearch);
+SOD_REGISTER_SCENARIO("photoshare", ScenarioKind::App,
+                      "photo-share listing and fetch over the simulated device fs",
+                      run_photoshare);
+
+}  // namespace

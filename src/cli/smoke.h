@@ -1,0 +1,19 @@
+// Shared smoke-scale policies for bench scenarios.
+#pragma once
+
+#include <vector>
+
+#include "apps/apps.h"
+#include "cli/scenario.h"
+
+namespace sod::cli {
+
+/// Table I app roster under the scenario's smoke policy: all four apps
+/// normally, first app only for CI smoke runs.
+inline std::vector<apps::AppSpec> table1_apps_for(const ScenarioOptions& opt) {
+  std::vector<apps::AppSpec> specs = apps::table1_apps();
+  if (opt.smoke) specs.resize(1);
+  return specs;
+}
+
+}  // namespace sod::cli

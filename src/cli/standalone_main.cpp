@@ -1,0 +1,29 @@
+// Stub main linked into each standalone bench/example binary: the binary
+// contains exactly one scenario translation unit, so run the sole
+// registered scenario with flags parsed the same way sodctl does.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cli/scenario.h"
+
+int main(int argc, char** argv) {
+  auto all = sod::cli::ScenarioRegistry::instance().all();
+  if (all.size() != 1) {
+    std::fprintf(stderr,
+                 "standalone scenario binary expects exactly 1 registered scenario, got %zu\n",
+                 all.size());
+    return 2;
+  }
+  const sod::cli::Scenario& s = *all[0];
+  sod::cli::ScenarioOptions opt;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  bool is_bench = s.kind == sod::cli::ScenarioKind::Bench;
+  std::string default_json = is_bench ? "BENCH_" + s.name + ".json" : "";
+  if (!sod::cli::parse_scenario_flags(args, opt, default_json)) return 2;
+  if (!is_bench && !opt.json_path.empty()) {
+    std::fprintf(stderr, "%s: --json is only supported by bench scenarios\n", s.name.c_str());
+    return 2;
+  }
+  return s.run(opt);
+}

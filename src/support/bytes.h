@@ -45,8 +45,9 @@ class ByteWriter {
 
  private:
   void append(const void* p, size_t n) {
-    const auto* b = static_cast<const uint8_t*>(p);
-    buf_.insert(buf_.end(), b, b + n);
+    size_t at = buf_.size();
+    buf_.resize(at + n);
+    std::memcpy(buf_.data() + at, p, n);
   }
   std::vector<uint8_t> buf_;
 };

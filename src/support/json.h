@@ -1,0 +1,36 @@
+// Minimal JSON emission helpers for the bench --json output.  Writing
+// only — the repo has no need to parse JSON.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace sod {
+
+/// Quotes and escapes `s` as a JSON string literal (including the quotes).
+inline std::string json_quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace sod

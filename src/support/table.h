@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "support/json.h"
+
 namespace sod {
 
 class Table {
@@ -41,6 +43,33 @@ class Table {
   }
 
   void print() const { std::fputs(str().c_str(), stdout); }
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Schema-stable JSON form used by the bench --json output:
+  ///   {"bench": <name>, "schema_version": 1,
+  ///    "columns": [...], "rows": [[...], ...]}
+  std::string json(const std::string& bench_name) const {
+    std::string out = "{\"bench\": " + json_quote(bench_name) + ", \"schema_version\": 1";
+    out += ", \"columns\": [";
+    for (size_t i = 0; i < header_.size(); ++i) {
+      if (i) out += ", ";
+      out += json_quote(header_[i]);
+    }
+    out += "], \"rows\": [";
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      if (r) out += ", ";
+      out += '[';
+      for (size_t i = 0; i < rows_[r].size(); ++i) {
+        if (i) out += ", ";
+        out += json_quote(rows_[r][i]);
+      }
+      out += ']';
+    }
+    out += "]}\n";
+    return out;
+  }
 
  private:
   std::vector<std::string> header_;

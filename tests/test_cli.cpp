@@ -1,0 +1,133 @@
+// Scenario registry: every app/bench/example registers, resolves by name,
+// runs under its smoke config, and unknown names fail with a clear error.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "cli/scenario.h"
+#include "support/table.h"
+
+namespace sod::cli {
+namespace {
+
+// The full scenario surface this PR ships.  A new workload registering
+// itself shows up in `all()` without touching this list; removing or
+// renaming one of these is a breaking CLI change and should fail here.
+const std::set<std::string> kExpected = {
+    // apps
+    "fib", "nqueens", "fft", "tsp", "docsearch", "photoshare",
+    // benches
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7",
+    "fig1", "fig5", "roaming_grid", "overhead_components", "ablation_fetch",
+    "ablation_prefetch", "ablation_segments",
+    // examples
+    "quickstart", "elastic_search", "photo_share", "workflow_roaming"};
+
+TEST(Registry, EveryExpectedScenarioResolves) {
+  for (const std::string& name : kExpected) {
+    const Scenario* s = ScenarioRegistry::instance().find(name);
+    ASSERT_NE(s, nullptr) << name;
+    EXPECT_EQ(s->name, name);
+    EXPECT_FALSE(s->description.empty()) << name;
+    EXPECT_TRUE(static_cast<bool>(s->run)) << name;
+  }
+}
+
+TEST(Registry, AllIsSortedAndCoversExpected) {
+  auto all = ScenarioRegistry::instance().all();
+  ASSERT_GE(all.size(), kExpected.size());
+  std::set<std::string> names;
+  for (const Scenario* s : all) names.insert(s->name);
+  for (const std::string& name : kExpected) EXPECT_TRUE(names.count(name)) << name;
+  for (size_t i = 1; i < all.size(); ++i) {
+    bool ordered = all[i - 1]->kind < all[i]->kind ||
+                   (all[i - 1]->kind == all[i]->kind && all[i - 1]->name < all[i]->name);
+    EXPECT_TRUE(ordered) << all[i - 1]->name << " vs " << all[i]->name;
+  }
+}
+
+TEST(Registry, UnknownNameFailsWithSuggestions) {
+  EXPECT_EQ(ScenarioRegistry::instance().find("no_such_scenario"), nullptr);
+  auto near = ScenarioRegistry::instance().suggestions("tabel2");
+  ASSERT_FALSE(near.empty());
+  EXPECT_NE(std::find(near.begin(), near.end(), "table2"), near.end());
+}
+
+TEST(Flags, ParsesSmokeNodesJsonAndPassthrough) {
+  ScenarioOptions opt;
+  ASSERT_TRUE(parse_scenario_flags({"--smoke", "--nodes", "4", "--json", "out.json", "--x"},
+                                   opt, "BENCH_t.json"));
+  EXPECT_TRUE(opt.smoke);
+  EXPECT_EQ(opt.nodes, 4);
+  EXPECT_EQ(opt.json_path, "out.json");
+  ASSERT_EQ(opt.extra.size(), 1u);
+  EXPECT_EQ(opt.extra[0], "--x");
+}
+
+TEST(Flags, BareJsonUsesDefaultName) {
+  ScenarioOptions opt;
+  ASSERT_TRUE(parse_scenario_flags({"--json"}, opt, "BENCH_table2.json"));
+  EXPECT_EQ(opt.json_path, "BENCH_table2.json");
+}
+
+TEST(Flags, BadNodesValueRejected) {
+  ScenarioOptions opt;
+  EXPECT_FALSE(parse_scenario_flags({"--nodes", "zero"}, opt, ""));
+  EXPECT_FALSE(parse_scenario_flags({"--nodes"}, opt, ""));
+  EXPECT_FALSE(parse_scenario_flags({"--nodes", "0"}, opt, ""));
+}
+
+TEST(Json, TableEmissionIsSchemaStable) {
+  Table t({"App", "x"});
+  t.row({"Fib \"quoted\"", "1.5"});
+  std::string j = t.json("table2");
+  EXPECT_EQ(j,
+            "{\"bench\": \"table2\", \"schema_version\": 1, "
+            "\"columns\": [\"App\", \"x\"], "
+            "\"rows\": [[\"Fib \\\"quoted\\\"\", \"1.5\"]]}\n");
+}
+
+// --- every registered scenario runs its smoke config ---
+
+class ScenarioSmoke : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ScenarioSmoke, RunsCleanly) {
+  const Scenario* s = ScenarioRegistry::instance().find(GetParam());
+  ASSERT_NE(s, nullptr);
+  ScenarioOptions opt;
+  opt.smoke = true;
+  opt.nodes = 2;
+  if (s->kind == ScenarioKind::Bench) {
+    opt.json_path = ::testing::TempDir() + "BENCH_" + s->name + ".json";
+    std::remove(opt.json_path.c_str());
+  }
+  EXPECT_EQ(s->run(opt), 0) << s->name;
+  if (!opt.json_path.empty()) {
+    std::ifstream in(opt.json_path);
+    ASSERT_TRUE(in.good()) << opt.json_path;
+    std::stringstream body;
+    body << in.rdbuf();
+    EXPECT_NE(body.str().find("\"bench\": \"" + s->name + "\""), std::string::npos);
+    EXPECT_NE(body.str().find("\"schema_version\": 1"), std::string::npos);
+    std::remove(opt.json_path.c_str());
+  }
+}
+
+std::vector<std::string> all_names() {
+  std::vector<std::string> names;
+  for (const Scenario* s : ScenarioRegistry::instance().all()) names.push_back(s->name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, ScenarioSmoke, ::testing::ValuesIn(all_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace sod::cli

@@ -121,7 +121,11 @@ TEST_P(RandomCalls, NestedCallsSurviveFlatten) {
   for (int i = 0; i < nhelpers; ++i) {
     mult[static_cast<size_t>(i)] = rng.range(1, 5);
     add[static_cast<size_t>(i)] = rng.range(-10, 10);
-    auto& h = cls.method("h" + std::to_string(i), {{"x", Ty::I64}}, Ty::I64);
+    // Built piecewise: `"h" + std::to_string(i)` trips gcc 12's -Wrestrict
+    // false positive (PR 105651) under -O2.
+    std::string hname("h");
+    hname += std::to_string(i);
+    auto& h = cls.method(hname, {{"x", Ty::I64}}, Ty::I64);
     h.stmt()
         .iload("x")
         .iconst(mult[static_cast<size_t>(i)])

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Diff two directories of BENCH_*.json files and flag regressions.
+
+Usage:
+    bench_diff.py OLD_DIR NEW_DIR [--threshold 0.10] [--strict]
+
+Every bench table is the schema-stable JSON emitted by Table::json:
+
+    {"bench": <name>, "schema_version": 1,
+     "columns": [...], "rows": [[...], ...]}
+
+Rows are keyed by their first cell; numeric cells are compared per
+(bench, row key, column).  The virtual-time benches are deterministic, so
+any numeric drift is a real behavioral change: a value that grew by more
+than the threshold is reported as a regression (with a GitHub ::warning::
+annotation so CI surfaces it on the run), a value that shrank by more
+than the threshold as an improvement.  --strict exits 1 when regressions
+were found; without it the script always exits 0 so CI flags rather than
+blocks.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_tables(dir_path):
+    """BENCH_*.json files under dir_path (recursively), keyed by filename."""
+    tables = {}
+    for path in sorted(pathlib.Path(dir_path).rglob("BENCH_*.json")):
+        try:
+            with open(path, encoding="utf-8") as f:
+                tables[path.name] = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_diff: skipping unreadable {path}: {e}", file=sys.stderr)
+    return tables
+
+
+def as_number(cell):
+    try:
+        return float(cell)
+    except (TypeError, ValueError):
+        return None
+
+
+def diff_table(name, old, new, threshold):
+    """Yields (kind, message) tuples; kind is 'regression' or 'improvement'."""
+    old_cols = old.get("columns", [])
+    new_cols = new.get("columns", [])
+    old_rows = {}
+    for row in old.get("rows", []):
+        if not row:
+            continue
+        if row[0] in old_rows:
+            print(f"bench_diff: {name} has duplicate row key '{row[0]}'; "
+                  "comparisons for it may be wrong", file=sys.stderr)
+        old_rows[row[0]] = row
+    seen_new = set()
+    for row in new.get("rows", []):
+        if not row:
+            continue
+        if row[0] in seen_new:
+            print(f"bench_diff: {name} has duplicate row key '{row[0]}' in the new table; "
+                  "comparisons for it may be wrong", file=sys.stderr)
+        seen_new.add(row[0])
+        if row[0] not in old_rows:
+            continue
+        old_row = old_rows[row[0]]
+        for i, cell in enumerate(row):
+            if i == 0 or i >= len(old_row) or i >= len(new_cols):
+                continue
+            if i < len(old_cols) and old_cols[i] != new_cols[i]:
+                continue  # column set changed; not comparable
+            old_v, new_v = as_number(old_row[i]), as_number(cell)
+            if old_v is None or new_v is None or old_v < 0:
+                continue
+            where = f"{name} [{row[0]}] {new_cols[i]}: {old_row[i]} -> {cell}"
+            if old_v == 0:
+                if new_v > 0:
+                    yield "regression", f"{where} (from zero baseline)"
+                continue
+            ratio = new_v / old_v - 1.0
+            if ratio > threshold:
+                yield "regression", f"{where} (+{ratio:.1%})"
+            elif ratio < -threshold:
+                yield "improvement", f"{where} ({ratio:.1%})"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("old_dir")
+    ap.add_argument("new_dir")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative change that counts as a regression (default 0.10)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 when regressions are found")
+    args = ap.parse_args()
+
+    old_tables = load_tables(args.old_dir)
+    new_tables = load_tables(args.new_dir)
+    if not old_tables:
+        print(f"bench_diff: no BENCH_*.json under {args.old_dir}; nothing to compare")
+        return 0
+    if not new_tables:
+        print(f"bench_diff: no BENCH_*.json under {args.new_dir}; nothing to compare",
+              file=sys.stderr)
+        return 1
+
+    regressions, improvements = [], []
+    for name in sorted(new_tables):
+        if name not in old_tables:
+            print(f"new bench (no baseline): {name}")
+            continue
+        for kind, msg in diff_table(name, old_tables[name], new_tables[name], args.threshold):
+            (regressions if kind == "regression" else improvements).append(msg)
+    for name in sorted(set(old_tables) - set(new_tables)):
+        print(f"bench disappeared: {name}")
+
+    for msg in improvements:
+        print(f"improvement: {msg}")
+    for msg in regressions:
+        print(f"REGRESSION: {msg}")
+        print(f"::warning title=bench regression::{msg}")
+    print(f"bench_diff: {len(new_tables)} bench(es) compared, "
+          f"{len(regressions)} regression(s), {len(improvements)} improvement(s) "
+          f"beyond {args.threshold:.0%}")
+    return 1 if args.strict and regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "cluster/placement.h"
 #include "support/panic.h"
 #include "support/table.h"
 
@@ -122,6 +123,19 @@ bool parse_scenario_flags(const std::vector<std::string>& args, ScenarioOptions&
         return false;
       }
       opt.nodes = static_cast<int>(v);
+    } else if (a == "--policy") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "sodctl: --policy requires a value\n");
+        return false;
+      }
+      opt.policy = args[++i];
+      if (!cluster::parse_policy(opt.policy)) {
+        std::fprintf(stderr,
+                     "sodctl: unknown --policy '%s' (round-robin, least-loaded, "
+                     "locality-aware)\n",
+                     opt.policy.c_str());
+        return false;
+      }
     } else if (a == "--json") {
       // Accept both `--json out.json` and bare `--json` (default name).
       if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {

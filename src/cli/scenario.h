@@ -25,6 +25,10 @@ struct ScenarioOptions {
   bool smoke = false;
   /// Node count for scenarios that spin up a cluster (0 = scenario default).
   int nodes = 0;
+  /// Placement policy for cluster scenarios ("" = scenario default).
+  /// Validated spellings: round-robin, least-loaded, locality-aware (see
+  /// cluster::parse_policy).
+  std::string policy;
   /// When non-empty, bench scenarios write their result table here as
   /// schema-stable JSON (see Table::json).
   std::string json_path;
@@ -81,8 +85,9 @@ bool maybe_write_json(const ScenarioOptions& opt, const std::string& bench_name,
                       const Table& t);
 
 /// Shared flag parsing for sodctl and the standalone scenario binaries.
-/// Understands --smoke, --nodes N, --json [path] and collects the rest
-/// into opt.extra.  Returns false on malformed flags (message on stderr).
+/// Understands --smoke, --nodes N, --policy P, --json [path] and collects
+/// the rest into opt.extra.  Returns false on malformed flags (message on
+/// stderr).
 /// `default_json_name` fills json_path when --json is given without a
 /// value ("" disables the bare form).
 bool parse_scenario_flags(const std::vector<std::string>& args, ScenarioOptions& opt,

@@ -1,6 +1,6 @@
 // App scenarios — the Table I guest apps plus the Section IV workloads,
-// registered so `sodctl run fib --nodes 4` exercises a real multi-node
-// offload loop without a dedicated main().
+// registered so `sodctl run fib --nodes 4 --policy least-loaded` exercises
+// a real load-aware cluster dispatch without a dedicated main().
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -9,6 +9,8 @@
 
 #include "apps/apps.h"
 #include "cli/scenario.h"
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
 #include "prep/prep.h"
 #include "sod/migrate.h"
 
@@ -20,35 +22,54 @@ using sod::cli::ScenarioKind;
 using sod::cli::ScenarioOptions;
 using sod::mig::SodNode;
 
-/// Runs one Table I app at bench scale on a `opt.nodes`-node cluster
-/// (default 2): home plus workers; each worker gets one top-frame offload
-/// as the recursion re-reaches the trigger depth, then home finishes the
-/// residual computation and the result is checked against the app's
-/// expected value.
+/// Shared cluster driver for the Table I apps: runs one app at bench scale
+/// on a `opt.nodes`-node cluster (default 2).  Each time the recursion
+/// re-reaches the trigger depth, the top of the stack is split into
+/// single-frame segments that are placed by the selected policy and kept
+/// in flight on different workers concurrently (Fig. 1(c)); home then
+/// finishes the residual computation and the result is checked against the
+/// app's expected value.
 int run_table1_app(const AppSpec& spec, const ScenarioOptions& opt) {
   int nodes = opt.nodes > 0 ? opt.nodes : 2;
+  auto kind = sod::cluster::parse_policy(opt.policy.empty() ? "round-robin" : opt.policy);
+  if (!kind) {
+    std::fprintf(stderr, "%s: unknown placement policy '%s'\n", spec.name.c_str(),
+                 opt.policy.c_str());
+    return 2;
+  }
   sod::bc::Program p = spec.build();
   sod::prep::preprocess_program(p);
 
-  SodNode home("home", p, {});
-  std::vector<std::unique_ptr<SodNode>> workers;
-  for (int i = 1; i < nodes; ++i)
-    workers.push_back(std::make_unique<SodNode>("worker" + std::to_string(i), p,
-                                                SodNode::Config{}));
+  sod::cluster::Cluster c(p);
+  c.add_uniform_workers(nodes - 1);
+  auto policy = sod::cluster::make_policy(*kind);
+  SodNode& home = c.home();
 
   uint16_t trigger = p.find_method(spec.trigger_method);
   int depth = std::min(spec.paper_depth, 4);
   int tid = home.vm().spawn(p.find_method(spec.entry), spec.bench_args);
 
-  int hops = 0;
-  for (auto& w : workers) {
-    if (!sod::mig::pause_at_depth(home, tid, trigger, depth)) break;
-    auto out = sod::mig::offload_and_return(home, tid, 1, *w, sod::sim::Link::gigabit());
-    home.node().clock.wait_until(w->node().clock.now());
-    std::printf("offload %d -> %s: %.3f ms latency, %d object faults\n", hops,
-                w->name().c_str(), out.timing.latency().ms(), out.faults.faults);
+  // One concurrent dispatch round per pause until every worker has been
+  // offered a segment; a round takes at most depth-1 frames (the residual
+  // bottom frame stays home) and keeps the recursion alive for the next
+  // round while workers remain.
+  int segments = 0;
+  int rounds = 0;
+  int remaining = c.size();
+  while (remaining > 0 && sod::mig::pause_at_depth(home, tid, trigger, depth)) {
+    int k = std::min(remaining, depth - 1);
+    if (remaining > k) k = std::max(1, depth - 2);
+    auto out = sod::cluster::dispatch_segments(c, tid, sod::cluster::split_top_frames(k),
+                                               *policy);
     home.ti().set_debug_enabled(false);
-    ++hops;
+    for (const auto& pl : out.placements)
+      std::printf("round %d: segment [%d,%d) -> %s, restored %.3f ms, done %.3f ms\n", rounds,
+                  pl.spec.depth_lo, pl.spec.depth_hi, pl.worker_name.c_str(),
+                  pl.restored_at.ms(), pl.completed_at.ms());
+    if (out.faults > 0) std::printf("round %d: %d object faults\n", rounds, out.faults);
+    segments += k;
+    remaining -= k;
+    ++rounds;
   }
   home.ti().set_debug_enabled(false);
   auto rr = home.run_guest(tid);
@@ -57,9 +78,11 @@ int run_table1_app(const AppSpec& spec, const ScenarioOptions& opt) {
     return 1;
   }
   int64_t got = home.vm().thread(tid).result.as_i64();
-  std::printf("%s(%s) = %lld over %d node(s), %d offload hop(s), %.3f ms virtual\n",
+  std::printf("%s(%s) = %lld over %d node(s), %d segment(s) in %d round(s) [%s], %.3f ms "
+              "virtual\n",
               spec.name.c_str(), std::to_string(spec.bench_args[0].as_i64()).c_str(),
-              static_cast<long long>(got), nodes, hops, home.node().clock.now().ms());
+              static_cast<long long>(got), nodes, segments, rounds,
+              sod::cluster::policy_name(*kind), home.node().clock.now().ms());
   // FFT/TSP use INT64_MIN as "no closed-form expectation" (the tests check
   // them against host-side references instead).
   if (spec.bench_expected != INT64_MIN && got != spec.bench_expected) {
@@ -137,13 +160,17 @@ int run_fft(const ScenarioOptions& opt) { return run_table1_app(sod::apps::fft_a
 int run_tsp(const ScenarioOptions& opt) { return run_table1_app(sod::apps::tsp_app(), opt); }
 
 SOD_REGISTER_SCENARIO("fib", ScenarioKind::App,
-                      "recursive Fibonacci with multi-node top-frame offloads", run_fib);
+                      "recursive Fibonacci with policy-placed concurrent segment offloads",
+                      run_fib);
 SOD_REGISTER_SCENARIO("nqueens", ScenarioKind::App,
-                      "n-queens backtracking with multi-node top-frame offloads", run_nqueens);
+                      "n-queens backtracking with policy-placed concurrent segment offloads",
+                      run_nqueens);
 SOD_REGISTER_SCENARIO("fft", ScenarioKind::App,
-                      "2-D FFT (large statics) with multi-node top-frame offloads", run_fft);
+                      "2-D FFT (large statics) with policy-placed concurrent segment offloads",
+                      run_fft);
 SOD_REGISTER_SCENARIO("tsp", ScenarioKind::App,
-                      "TSP branch-and-bound with multi-node top-frame offloads", run_tsp);
+                      "TSP branch-and-bound with policy-placed concurrent segment offloads",
+                      run_tsp);
 SOD_REGISTER_SCENARIO("docsearch", ScenarioKind::App,
                       "document search over the simulated filesystem", run_docsearch);
 SOD_REGISTER_SCENARIO("photoshare", ScenarioKind::App,

@@ -5,8 +5,9 @@
 //   sodctl bench <name> [flags]      run a bench scenario (default JSON name
 //                                    BENCH_<name>.json with bare --json)
 //
-// Flags: --smoke (tiny CI config), --nodes N, --json [path]; anything else
-// is passed through to the scenario (e.g. google-benchmark flags).
+// Flags: --smoke (tiny CI config), --nodes N, --policy P, --json [path];
+// anything else is passed through to the scenario (e.g. google-benchmark
+// flags).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -35,6 +36,8 @@ int usage(std::FILE* to) {
                "flags:\n"
                "  --smoke                   tiny problem sizes for CI smoke runs\n"
                "  --nodes N                 node count for cluster scenarios\n"
+               "  --policy P                placement policy for cluster scenarios\n"
+               "                            (round-robin | least-loaded | locality-aware)\n"
                "  --json [path]             write the result table as JSON\n");
   return to == stdout ? 0 : 2;
 }

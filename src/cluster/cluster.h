@@ -1,0 +1,116 @@
+// Cluster — load-aware placement over a home node plus heterogeneous
+// workers (the production shape of the paper's Fig. 1(b)/(c) flows).
+//
+// A Cluster owns the home SodNode and a set of workers, each with its own
+// CPU profile and its own simulated link back to home.  Placement policies
+// (cluster/placement.h) rank workers by virtual-clock load, link cost, and
+// shipped-class locality; dispatch_segments() splits the home thread's
+// paused stack into contiguous segments and keeps several of them in
+// flight on different workers at once, exploiting the latency-hiding
+// max(dst.now, src.now + transfer) delivery rule of sim/net.h: a lower
+// segment restores while the segment above it is still executing.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sod/migrate.h"
+
+namespace sod::cluster {
+
+class PlacementPolicy;
+
+/// One worker slot to be added to a Cluster.
+struct WorkerSpec {
+  std::string name;
+  mig::SodNode::Config config{};
+  /// Link between the home node and this worker.
+  sim::Link link = sim::Link::gigabit();
+};
+
+/// Home node + workers, all hosting the same preprocessed program.
+class Cluster {
+ public:
+  explicit Cluster(const bc::Program& prog, mig::SodNode::Config home_cfg = {});
+
+  /// Adds a worker; returns its id (0-based, dense).
+  int add_worker(const WorkerSpec& spec);
+  /// Adds `n` identical gigabit workers named worker1..workerN.
+  void add_uniform_workers(int n, const mig::SodNode::Config& cfg = {});
+
+  mig::SodNode& home() { return *home_; }
+  int size() const { return static_cast<int>(workers_.size()); }
+  mig::SodNode& worker(int id) const;
+  const sim::Link& link(int id) const;
+
+  /// Virtual-clock load front of a worker: everything charged to it so far.
+  VDur load(int id) const;
+  /// Home's current virtual time (placement estimates start from here).
+  VDur home_now() const { return home_->node().clock.now(); }
+  /// Whether the worker already holds class `cls`'s image (no ship cost).
+  bool holds_class(int id, uint16_t cls) const { return worker(id).class_shipped(cls); }
+
+  /// Segments assigned to the worker whose execution time is not yet
+  /// reflected in its clock.  dispatch_segments() maintains this; policies
+  /// use it as their primary key (least-outstanding-requests), because a
+  /// worker's clock only advances once its segment actually runs.
+  int inflight(int id) const;
+  void note_assigned(int id);
+  void note_completed(int id);
+
+ private:
+  struct Slot {
+    std::unique_ptr<mig::SodNode> node;
+    sim::Link link;
+    int inflight = 0;
+  };
+
+  const bc::Program* prog_;
+  std::unique_ptr<mig::SodNode> home_;
+  std::vector<Slot> workers_;
+};
+
+struct DispatchOptions {
+  /// Ship every segment as soon as it is serialized (the Fig. 1(c)
+  /// latency-hiding path).  When false, segment i+1 leaves home only after
+  /// segment i completed remotely — the sequential baseline.
+  bool concurrent = true;
+};
+
+struct Placement {
+  int worker = -1;
+  std::string worker_name;
+  mig::SegmentSpec spec{};
+  size_t shipped_bytes = 0;  ///< captured state + class image actually shipped
+  VDur restored_at{};        ///< worker clock when its restore finished
+  VDur completed_at{};       ///< worker clock when its execution finished
+};
+
+struct DispatchOutcome {
+  std::vector<Placement> placements;
+  /// Bottom segment's raw result (worker-local refs for Ref results; the
+  /// home-translated value lands in the resumed home frame via write-back).
+  bc::Value result{};
+  int faults = 0;
+  size_t writeback_bytes = 0;
+  /// True when at least one lower segment finished restoring before the
+  /// segment above it finished executing (freeze time hidden).
+  bool overlapped = false;
+};
+
+/// Splits the top `k` home frames into k single-frame segments, top first.
+std::vector<mig::SegmentSpec> split_top_frames(int k);
+
+/// Captures the contiguous top-of-stack segments `specs` (specs[0] must
+/// start at depth 0, each next one at the previous depth_hi) from the
+/// paused home thread, places each via `policy`, restores them on their
+/// workers, chains results downward (Segment::deliver), and writes the
+/// final result back home, leaving the home thread runnable.  The home
+/// thread's top frame must be at a migration-safe point and its stack must
+/// be strictly deeper than specs.back().depth_hi.
+DispatchOutcome dispatch_segments(Cluster& c, int home_tid,
+                                  const std::vector<mig::SegmentSpec>& specs,
+                                  PlacementPolicy& policy, const DispatchOptions& opt = {});
+
+}  // namespace sod::cluster

@@ -1,0 +1,110 @@
+#include "cluster/placement.h"
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+
+#include "cluster/cluster.h"
+#include "support/panic.h"
+
+namespace sod::cluster {
+
+namespace {
+
+/// Earliest virtual instant worker `w` could start executing a segment of
+/// `bytes` shipped from home right now: the send leaves at home's clock and
+/// the worker picks it up no earlier than its own load front.
+VDur arrival_estimate(const Cluster& c, int w, size_t bytes) {
+  VDur sent = c.home_now() + c.link(w).transfer_time(bytes);
+  return std::max(c.load(w), sent);
+}
+
+class RoundRobin final : public PlacementPolicy {
+ public:
+  const char* name() const override { return "round_robin"; }
+  int choose(const Cluster& c, const PlacementRequest&) override {
+    SOD_CHECK(c.size() > 0, "placement on an empty cluster");
+    return next_++ % c.size();
+  }
+
+ private:
+  int next_ = 0;
+};
+
+/// Load- and link-aware but locality-blind: every placement is costed as if
+/// the class image had to ship.  The primary key is outstanding assignments
+/// (a worker's clock only advances once its segment runs); then earliest
+/// arrival, then lowest load front.
+class LeastLoaded final : public PlacementPolicy {
+ public:
+  const char* name() const override { return "least_loaded"; }
+  int choose(const Cluster& c, const PlacementRequest& req) override {
+    SOD_CHECK(c.size() > 0, "placement on an empty cluster");
+    auto key = [&](int w) {
+      return std::tuple(c.inflight(w),
+                        arrival_estimate(c, w, req.state_bytes + req.class_image_bytes),
+                        c.load(w));
+    };
+    int best = 0;
+    for (int w = 1; w < c.size(); ++w)
+      if (key(w) < key(best)) best = w;
+    return best;
+  }
+};
+
+/// Least-loaded with shipped-class locality: workers already holding the
+/// segment's class skip the image transfer in the arrival estimate, and
+/// remaining ties go to a holder before the load front decides.
+class LocalityAware final : public PlacementPolicy {
+ public:
+  const char* name() const override { return "locality_aware"; }
+  int choose(const Cluster& c, const PlacementRequest& req) override {
+    SOD_CHECK(c.size() > 0, "placement on an empty cluster");
+    auto key = [&](int w) {
+      bool holds = c.holds_class(w, req.cls);
+      size_t bytes = req.state_bytes + (holds ? 0 : req.class_image_bytes);
+      return std::tuple(c.inflight(w), arrival_estimate(c, w, bytes), holds ? 0 : 1,
+                        c.load(w));
+    };
+    int best = 0;
+    for (int w = 1; w < c.size(); ++w)
+      if (key(w) < key(best)) best = w;
+    return best;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<PlacementPolicy> make_policy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::RoundRobin: return std::make_unique<RoundRobin>();
+    case PolicyKind::LeastLoaded: return std::make_unique<LeastLoaded>();
+    case PolicyKind::LocalityAware: return std::make_unique<LocalityAware>();
+  }
+  SOD_UNREACHABLE("bad PolicyKind");
+}
+
+const char* policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::RoundRobin: return "round_robin";
+    case PolicyKind::LeastLoaded: return "least_loaded";
+    case PolicyKind::LocalityAware: return "locality_aware";
+  }
+  SOD_UNREACHABLE("bad PolicyKind");
+}
+
+std::optional<PolicyKind> parse_policy(std::string_view s) {
+  std::string t(s);
+  for (char& ch : t)
+    if (ch == '_') ch = '-';
+  if (t == "round-robin" || t == "rr") return PolicyKind::RoundRobin;
+  if (t == "least-loaded") return PolicyKind::LeastLoaded;
+  if (t == "locality-aware" || t == "locality") return PolicyKind::LocalityAware;
+  return std::nullopt;
+}
+
+std::vector<PolicyKind> all_policies() {
+  return {PolicyKind::RoundRobin, PolicyKind::LeastLoaded, PolicyKind::LocalityAware};
+}
+
+}  // namespace sod::cluster

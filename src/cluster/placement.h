@@ -1,0 +1,47 @@
+// Placement policies — the scheduling half of the cluster layer.
+//
+// A PlacementPolicy picks the worker a captured stack segment should land
+// on.  Policies see the cluster's per-worker virtual-clock load, the link
+// each worker sits behind, and which class images a worker already holds
+// (SodNode::class_shipped), so they can trade off load, link cost, and
+// locality the way Boxer/Dandelion-style schedulers do.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace sod::cluster {
+
+class Cluster;
+
+enum class PolicyKind { RoundRobin, LeastLoaded, LocalityAware };
+
+/// What a segment about to be dispatched looks like to a policy.
+struct PlacementRequest {
+  uint16_t cls = 0;              ///< class of the segment's entry (bottom) frame
+  size_t state_bytes = 0;        ///< captured-state wire size
+  size_t class_image_bytes = 0;  ///< image size if the class must still ship
+};
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  virtual const char* name() const = 0;
+  /// Picks a worker id in [0, c.size()).
+  virtual int choose(const Cluster& c, const PlacementRequest& req) = 0;
+};
+
+std::unique_ptr<PlacementPolicy> make_policy(PolicyKind kind);
+const char* policy_name(PolicyKind kind);
+
+/// Accepts dashed and underscored spellings: "round-robin"/"round_robin",
+/// "least-loaded", "locality-aware"; nullopt on anything else.
+std::optional<PolicyKind> parse_policy(std::string_view s);
+
+/// Every policy kind, in a stable comparison order.
+std::vector<PolicyKind> all_policies();
+
+}  // namespace sod::cluster

@@ -568,10 +568,15 @@ WriteBackReport write_back(Segment& seg, SodNode& home, int home_tid, int frames
   WriteBackApplier applier(home);
   Value home_result = applier.apply(r);
 
-  // Pop the outdated frames; the last pop delivers the return value.
-  auto& ti = home.ti();
-  for (int i = 0; i < frames_to_pop - 1; ++i) ti.pop_frame(home_tid);
-  ti.force_early_return(home_tid, home_result);
+  // Pop the outdated frames; the last pop delivers the return value.  A
+  // frames_to_pop of 0 is an updates-only write-back (multi-segment
+  // dispatch: upper segments ship their objects home, only the bottom
+  // segment resumes the home thread).
+  if (frames_to_pop > 0) {
+    auto& ti = home.ti();
+    for (int i = 0; i < frames_to_pop - 1; ++i) ti.pop_frame(home_tid);
+    ti.force_early_return(home_tid, home_result);
+  }
   home.sync_ti_cost();
   return rep;
 }

@@ -85,7 +85,9 @@ class Segment {
 /// Ship updated objects + result home; pop the segment's outdated frames
 /// (ForceEarlyReturn); returns the result value translated into home refs.
 /// After this the home thread is runnable (or Done if the segment was the
-/// whole stack).
+/// whole stack).  With frames_to_pop == 0 the home stack is left untouched
+/// — an updates-only write-back, used by cluster dispatch for the upper
+/// segments of a multi-segment split.
 struct WriteBackReport {
   size_t bytes = 0;
   int objects_updated = 0;

@@ -23,8 +23,8 @@ const std::set<std::string> kExpected = {
     "fib", "nqueens", "fft", "tsp", "docsearch", "photoshare",
     // benches
     "table1", "table2", "table3", "table4", "table5", "table6", "table7",
-    "fig1", "fig5", "roaming_grid", "overhead_components", "ablation_fetch",
-    "ablation_prefetch", "ablation_segments",
+    "fig1", "fig5", "placement", "roaming_grid", "overhead_components",
+    "ablation_fetch", "ablation_prefetch", "ablation_segments",
     // examples
     "quickstart", "elastic_search", "photo_share", "workflow_roaming"};
 
@@ -75,6 +75,16 @@ TEST(Flags, BareJsonUsesDefaultName) {
   EXPECT_EQ(opt.json_path, "BENCH_table2.json");
 }
 
+TEST(Flags, ParsesAndValidatesPolicy) {
+  ScenarioOptions opt;
+  ASSERT_TRUE(parse_scenario_flags({"--policy", "least-loaded"}, opt, ""));
+  EXPECT_EQ(opt.policy, "least-loaded");
+  ASSERT_TRUE(parse_scenario_flags({"--policy", "locality_aware"}, opt, ""));
+  EXPECT_EQ(opt.policy, "locality_aware");
+  EXPECT_FALSE(parse_scenario_flags({"--policy"}, opt, ""));
+  EXPECT_FALSE(parse_scenario_flags({"--policy", "fastest"}, opt, ""));
+}
+
 TEST(Flags, BadNodesValueRejected) {
   ScenarioOptions opt;
   EXPECT_FALSE(parse_scenario_flags({"--nodes", "zero"}, opt, ""));
@@ -90,6 +100,19 @@ TEST(Json, TableEmissionIsSchemaStable) {
             "{\"bench\": \"table2\", \"schema_version\": 1, "
             "\"columns\": [\"App\", \"x\"], "
             "\"rows\": [[\"Fib \\\"quoted\\\"\", \"1.5\"]]}\n");
+}
+
+// The cluster apps must run green under every placement policy (the
+// acceptance path of `sodctl run fib --nodes 4 --policy least-loaded`).
+TEST(ClusterApps, FibRunsUnderEveryPolicy) {
+  const Scenario* s = ScenarioRegistry::instance().find("fib");
+  ASSERT_NE(s, nullptr);
+  for (const char* policy : {"round-robin", "least-loaded", "locality-aware"}) {
+    ScenarioOptions opt;
+    opt.nodes = 4;
+    opt.policy = policy;
+    EXPECT_EQ(s->run(opt), 0) << policy;
+  }
 }
 
 // --- every registered scenario runs its smoke config ---

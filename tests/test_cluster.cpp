@@ -1,0 +1,179 @@
+// Cluster placement: policies pick the expected worker under skewed loads,
+// slow links, and class locality; concurrent multi-segment dispatch
+// preserves app results while hiding freeze time (the Fig. 1(c) property).
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "prep/prep.h"
+#include "sod/migrate.h"
+#include "testlib.h"
+
+namespace sod::cluster {
+namespace {
+
+using bc::Value;
+
+bc::Program prepped_fib() {
+  auto p = sod::testing::fib_program();
+  prep::preprocess_program(p);
+  return p;
+}
+
+TEST(Policy, ParseAcceptsDashedAndUnderscoredSpellings) {
+  EXPECT_EQ(parse_policy("round-robin"), PolicyKind::RoundRobin);
+  EXPECT_EQ(parse_policy("round_robin"), PolicyKind::RoundRobin);
+  EXPECT_EQ(parse_policy("least-loaded"), PolicyKind::LeastLoaded);
+  EXPECT_EQ(parse_policy("least_loaded"), PolicyKind::LeastLoaded);
+  EXPECT_EQ(parse_policy("locality-aware"), PolicyKind::LocalityAware);
+  EXPECT_EQ(parse_policy("locality"), PolicyKind::LocalityAware);
+  EXPECT_FALSE(parse_policy("fastest").has_value());
+  EXPECT_FALSE(parse_policy("").has_value());
+}
+
+TEST(Policy, RoundRobinCycles) {
+  auto p = prepped_fib();
+  Cluster c(p);
+  c.add_uniform_workers(3);
+  auto pol = make_policy(PolicyKind::RoundRobin);
+  PlacementRequest req;
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(pol->choose(c, req), i % 3);
+}
+
+TEST(Policy, LeastLoadedPicksTheIdleWorker) {
+  auto p = prepped_fib();
+  Cluster c(p);
+  c.add_uniform_workers(3);
+  c.worker(0).node().clock.advance(VDur::millis(10));
+  c.worker(2).node().clock.advance(VDur::millis(25));
+  auto pol = make_policy(PolicyKind::LeastLoaded);
+  PlacementRequest req;
+  req.state_bytes = 256;
+  EXPECT_EQ(pol->choose(c, req), 1);
+  // Load worker 1 past worker 0: the choice follows the load skew.
+  c.worker(1).node().clock.advance(VDur::millis(30));
+  EXPECT_EQ(pol->choose(c, req), 0);
+}
+
+TEST(Policy, LeastLoadedAvoidsASlowLink) {
+  auto p = prepped_fib();
+  Cluster c(p);
+  c.add_worker({"fast", {}, sim::Link::gigabit()});
+  c.add_worker({"wifi", {}, sim::Link::wifi_kbps(500)});
+  auto pol = make_policy(PolicyKind::LeastLoaded);
+  PlacementRequest req;
+  req.state_bytes = 64 << 10;  // ~1 s over 500 kbps wifi
+  EXPECT_EQ(pol->choose(c, req), 0);
+  // Even a busy fast worker beats shipping the state over wifi.
+  c.worker(0).node().clock.advance(VDur::millis(50));
+  EXPECT_EQ(pol->choose(c, req), 0);
+}
+
+TEST(Policy, LocalityAwarePrefersTheClassHolder) {
+  auto p = prepped_fib();
+  Cluster c(p);
+  c.add_uniform_workers(3);
+  uint16_t cls = p.method(p.find_method("Main.fib")).owner;
+  c.worker(2).mark_class_shipped(cls);
+  PlacementRequest req;
+  req.cls = cls;
+  req.state_bytes = 512;
+  req.class_image_bytes = p.class_image(cls).size();
+  ASSERT_GT(req.class_image_bytes, 0u);
+  auto least = make_policy(PolicyKind::LeastLoaded);
+  auto local = make_policy(PolicyKind::LocalityAware);
+  EXPECT_EQ(least->choose(c, req), 0);  // locality-blind: all equal, lowest id
+  EXPECT_EQ(local->choose(c, req), 2);  // the holder skips the image transfer
+}
+
+TEST(Policy, LocalityAwareFallsBackToLoadWhenNobodyHoldsTheClass) {
+  auto p = prepped_fib();
+  Cluster c(p);
+  c.add_uniform_workers(3);
+  c.worker(0).node().clock.advance(VDur::millis(10));
+  c.worker(2).node().clock.advance(VDur::millis(10));
+  PlacementRequest req;
+  req.cls = p.method(p.find_method("Main.fib")).owner;
+  req.state_bytes = 512;
+  req.class_image_bytes = p.class_image(req.cls).size();
+  auto pol = make_policy(PolicyKind::LocalityAware);
+  EXPECT_EQ(pol->choose(c, req), 1);
+}
+
+TEST(Dispatch, SplitTopFramesIsContiguousFromTheTop) {
+  auto specs = split_top_frames(3);
+  ASSERT_EQ(specs.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(specs[static_cast<size_t>(i)].depth_lo, i);
+    EXPECT_EQ(specs[static_cast<size_t>(i)].depth_hi, i + 1);
+  }
+}
+
+TEST(Dispatch, ConcurrentSplitPreservesTheResultAndHidesFreezeTime) {
+  auto p = prepped_fib();
+  uint16_t fib = p.find_method("Main.fib");
+  Cluster c(p);
+  c.add_uniform_workers(3);
+  int tid = c.home().vm().spawn(fib, std::vector<Value>{Value::of_i64(22)});
+  ASSERT_TRUE(mig::pause_at_depth(c.home(), tid, fib, 4));
+  auto pol = make_policy(PolicyKind::RoundRobin);
+  auto out = dispatch_segments(c, tid, split_top_frames(3), *pol);
+  c.home().ti().set_debug_enabled(false);
+  auto rr = c.home().run_guest(tid);
+  ASSERT_EQ(rr.reason, svm::StopReason::Done);
+  EXPECT_EQ(c.home().vm().thread(tid).result.as_i64(), sod::testing::fib_ref(22));
+  ASSERT_EQ(out.placements.size(), 3u);
+  // Every lower segment finished restoring inside the window in which the
+  // segment above it was still executing: its freeze time was hidden.
+  EXPECT_TRUE(out.overlapped);
+  for (size_t i = 1; i < out.placements.size(); ++i)
+    EXPECT_LT(out.placements[i].restored_at, out.placements[i - 1].completed_at);
+}
+
+TEST(Dispatch, ConcurrentShippingBeatsTheSequentialBaseline) {
+  auto total_with = [](bool concurrent) {
+    auto p = prepped_fib();
+    uint16_t fib = p.find_method("Main.fib");
+    Cluster c(p);
+    c.add_uniform_workers(3);
+    int tid = c.home().vm().spawn(fib, std::vector<Value>{Value::of_i64(22)});
+    EXPECT_TRUE(mig::pause_at_depth(c.home(), tid, fib, 4));
+    auto pol = make_policy(PolicyKind::RoundRobin);
+    DispatchOptions o;
+    o.concurrent = concurrent;
+    auto out = dispatch_segments(c, tid, split_top_frames(3), *pol, o);
+    if (!concurrent) {
+      EXPECT_FALSE(out.overlapped);
+    }
+    c.home().ti().set_debug_enabled(false);
+    EXPECT_EQ(c.home().run_guest(tid).reason, svm::StopReason::Done);
+    EXPECT_EQ(c.home().vm().thread(tid).result.as_i64(), sod::testing::fib_ref(22));
+    return c.home().node().clock.now();
+  };
+  VDur conc = total_with(true);
+  VDur seq = total_with(false);
+  // Fig. 1(c): the concurrent total is strictly below the sum-of-sequential
+  // offload total because transfer + restore of lower segments is hidden.
+  EXPECT_LT(conc.ns, seq.ns);
+}
+
+TEST(Dispatch, MultiFrameSegmentsChainAcrossWorkers) {
+  auto p = prepped_fib();
+  uint16_t fib = p.find_method("Main.fib");
+  Cluster c(p);
+  c.add_uniform_workers(2);
+  int tid = c.home().vm().spawn(fib, std::vector<Value>{Value::of_i64(20)});
+  ASSERT_TRUE(mig::pause_at_depth(c.home(), tid, fib, 4));
+  std::vector<mig::SegmentSpec> specs{{0, 1}, {1, 3}};
+  auto pol = make_policy(PolicyKind::RoundRobin);
+  auto out = dispatch_segments(c, tid, specs, *pol);
+  c.home().ti().set_debug_enabled(false);
+  ASSERT_EQ(c.home().run_guest(tid).reason, svm::StopReason::Done);
+  EXPECT_EQ(c.home().vm().thread(tid).result.as_i64(), sod::testing::fib_ref(20));
+  ASSERT_EQ(out.placements.size(), 2u);
+  EXPECT_EQ(out.placements[0].worker, 0);
+  EXPECT_EQ(out.placements[1].worker, 1);
+}
+
+}  // namespace
+}  // namespace sod::cluster

@@ -1,0 +1,177 @@
+// Elastic membership under worker churn: the same Table-I-style workload
+// (multi-round concurrent segment dispatch of the Fib app) replayed on a
+// heterogeneous topology — two cluster Xeons on gigabit plus an
+// iPhone-class device behind wifi — while ephemeral Boxer-style workers
+// join and drain on a deterministic schedule derived from --churn.
+//
+// Three segments per round on two fast workers force the third placement
+// decision to matter: least_loaded's inflight-count primary key pushes it
+// onto the slow device, while the learned policy's per-class EWMA of
+// observed execution times predicts the device's 25x completion cost and
+// routes around it.  The bench fails unless the learned policy's mean
+// completion virtual time is <= least_loaded's.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "cli/scenario.h"
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "prep/prep.h"
+#include "support/table.h"
+
+using namespace sod;
+
+namespace {
+
+constexpr int kSegmentsPerRound = 3;
+/// Rounds an ephemeral joiner stays before it is drained.
+constexpr int kEphemeralLife = 2;
+
+struct ChurnSchedule {
+  std::vector<int> join_round;   ///< per joiner, the round it is added before
+  std::vector<int> drain_round;  ///< per joiner, the round it is drained before
+};
+
+/// Deterministic join/drain schedule: `churn` is the fraction of rounds
+/// that start a membership event, joins spread evenly across the run and
+/// each joiner drained kEphemeralLife rounds later (clamped into the run
+/// so every joiner also leaves mid-run).
+ChurnSchedule make_schedule(double churn, int rounds) {
+  ChurnSchedule s;
+  if (churn <= 0 || rounds < 2) return s;
+  int joins = std::max(1, static_cast<int>(churn * rounds + 0.5));
+  for (int j = 0; j < joins; ++j) {
+    int at = (j + 1) * rounds / (joins + 1);
+    at = std::max(1, std::min(at, rounds - 2));
+    s.join_round.push_back(at);
+    s.drain_round.push_back(std::min(at + kEphemeralLife, rounds - 1));
+  }
+  return s;
+}
+
+struct ElasticResult {
+  int segments = 0;
+  int device_segments = 0;
+  int joins = 0;
+  int leaves = 0;
+  double mean_completion_ms = 0;
+  double total_ms = 0;
+  bool ok = false;
+};
+
+ElasticResult run_policy(cluster::PolicyKind kind, const ChurnSchedule& sched, int rounds) {
+  const apps::AppSpec spec = apps::fib_app();
+  bc::Program p = spec.build();
+  prep::preprocess_program(p);
+
+  cluster::Cluster c(p);
+  c.add_worker({"xeon1", {}, sim::Link::gigabit()});
+  c.add_worker({"xeon2", {}, sim::Link::gigabit()});
+  mig::SodNode::Config dev;
+  dev.cpu_scale = 25.0;  // iPhone-3G-like device profile
+  int device_id = c.add_worker({"wifi-device", dev, sim::Link::wifi_kbps(2000)});
+
+  auto policy = cluster::make_policy(kind);
+  uint16_t trigger = p.find_method(spec.trigger_method);
+  int tid = c.home().vm().spawn(p.find_method(spec.entry), spec.bench_args);
+
+  ElasticResult res;
+  std::vector<int> joiner_ids(sched.join_round.size(), -1);
+  double completion_sum_ms = 0;
+  for (int r = 0; r < rounds; ++r) {
+    // Membership events fire between dispatch rounds: drains first (the
+    // worker finished its queued work inside the previous dispatch), then
+    // this round's joins.
+    for (size_t j = 0; j < sched.drain_round.size(); ++j) {
+      if (sched.drain_round[j] != r || joiner_ids[j] < 0) continue;
+      c.drain_worker(joiner_ids[j]);
+      ++res.leaves;
+    }
+    for (size_t j = 0; j < sched.join_round.size(); ++j) {
+      if (sched.join_round[j] != r) continue;
+      joiner_ids[j] =
+          c.add_worker({"boxer" + std::to_string(j + 1), {}, sim::Link::gigabit()});
+      ++res.joins;
+    }
+    // Pause four frames deeper than the split so residual recursion
+    // survives the round and the next pause can fire again.
+    if (!mig::pause_at_depth(c.home(), tid, trigger, kSegmentsPerRound + 4)) break;
+    VDur round_start = c.home_now();
+    auto out = cluster::dispatch_segments(
+        c, tid, cluster::split_top_frames(kSegmentsPerRound), *policy);
+    c.home().ti().set_debug_enabled(false);
+    for (const auto& pl : out.placements) {
+      ++res.segments;
+      if (pl.worker == device_id) ++res.device_segments;
+      completion_sum_ms += (pl.completed_at - round_start).ms();
+    }
+  }
+  c.home().ti().set_debug_enabled(false);
+  auto rr = c.home().run_guest(tid);
+  res.ok = rr.reason == svm::StopReason::Done &&
+           c.home().vm().thread(tid).result.as_i64() == spec.bench_expected;
+  if (res.segments > 0) res.mean_completion_ms = completion_sum_ms / res.segments;
+  res.total_ms = c.home().node().clock.now().ms();
+  return res;
+}
+
+int run(const cli::ScenarioOptions& opt) {
+  double churn = opt.churn >= 0 ? opt.churn : 0.2;
+  int rounds = opt.smoke ? 4 : 8;
+  ChurnSchedule sched = make_schedule(churn, rounds);
+  std::printf("=== elastic membership: 2x Xeon + wifi device, churn %.2f (%zu joiner(s)) ===\n",
+              churn, sched.join_round.size());
+
+  std::vector<cluster::PolicyKind> kinds;
+  if (!opt.policy.empty()) {
+    auto k = cluster::parse_policy(opt.policy);
+    if (!k) {
+      std::fprintf(stderr, "elastic: unknown placement policy '%s'\n", opt.policy.c_str());
+      return 2;
+    }
+    kinds.push_back(*k);
+  } else {
+    kinds = cluster::all_policies();
+  }
+
+  Table t({"policy", "segments", "device segs", "joins", "leaves", "mean completion ms",
+           "total ms"});
+  bool all_ok = true;
+  double least_mean = -1;
+  double learned_mean = -1;
+  for (cluster::PolicyKind kind : kinds) {
+    ElasticResult r = run_policy(kind, sched, rounds);
+    all_ok = all_ok && r.ok;
+    if (churn > 0 && (r.joins == 0 || r.leaves == 0)) {
+      std::fprintf(stderr, "elastic: %s run saw no churn (joins %d, leaves %d)\n",
+                   cluster::policy_name(kind), r.joins, r.leaves);
+      all_ok = false;
+    }
+    t.row({cluster::policy_name(kind), std::to_string(r.segments),
+           std::to_string(r.device_segments), std::to_string(r.joins),
+           std::to_string(r.leaves), fmt("%.3f", r.mean_completion_ms),
+           fmt("%.3f", r.total_ms)});
+    if (kind == cluster::PolicyKind::LeastLoaded) least_mean = r.mean_completion_ms;
+    if (kind == cluster::PolicyKind::Learned) learned_mean = r.mean_completion_ms;
+  }
+  t.print();
+  if (!all_ok) std::fprintf(stderr, "elastic: a policy run failed\n");
+  bool ordered = true;
+  if (least_mean >= 0 && learned_mean >= 0) {
+    ordered = learned_mean <= least_mean;
+    if (!ordered)
+      std::fprintf(stderr,
+                   "elastic: learned mean completion (%.3f ms) above least_loaded (%.3f ms)\n",
+                   learned_mean, least_mean);
+  }
+  return (all_ok && ordered && cli::maybe_write_json(opt, "elastic", t)) ? 0 : 1;
+}
+
+SOD_REGISTER_SCENARIO("elastic", cli::ScenarioKind::Bench,
+                      "policy comparison under elastic worker membership (join/drain churn)",
+                      run);
+
+}  // namespace

@@ -1,6 +1,7 @@
 #include "cli/scenario.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -132,10 +133,23 @@ bool parse_scenario_flags(const std::vector<std::string>& args, ScenarioOptions&
       if (!cluster::parse_policy(opt.policy)) {
         std::fprintf(stderr,
                      "sodctl: unknown --policy '%s' (round-robin, least-loaded, "
-                     "locality-aware)\n",
+                     "locality-aware, learned)\n",
                      opt.policy.c_str());
         return false;
       }
+    } else if (a == "--churn") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "sodctl: --churn requires a value\n");
+        return false;
+      }
+      char* end = nullptr;
+      double v = std::strtod(args[++i].c_str(), &end);
+      if (end == args[i].c_str() || *end != '\0' || !std::isfinite(v) || v < 0.0 || v > 1.0) {
+        std::fprintf(stderr, "sodctl: bad --churn value '%s' (expected 0..1)\n",
+                     args[i].c_str());
+        return false;
+      }
+      opt.churn = v;
     } else if (a == "--json") {
       // Accept both `--json out.json` and bare `--json` (default name).
       if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {

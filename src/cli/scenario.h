@@ -26,9 +26,13 @@ struct ScenarioOptions {
   /// Node count for scenarios that spin up a cluster (0 = scenario default).
   int nodes = 0;
   /// Placement policy for cluster scenarios ("" = scenario default).
-  /// Validated spellings: round-robin, least-loaded, locality-aware (see
-  /// cluster::parse_policy).
+  /// Validated spellings: round-robin, least-loaded, locality-aware,
+  /// learned (see cluster::parse_policy).
   std::string policy;
+  /// Worker churn rate for elastic scenarios: the fraction of dispatch
+  /// rounds that trigger a membership event (a join, with a matching drain
+  /// a few rounds later).  Negative = scenario default.
+  double churn = -1.0;
   /// When non-empty, bench scenarios write their result table here as
   /// schema-stable JSON (see Table::json).
   std::string json_path;
@@ -85,9 +89,9 @@ bool maybe_write_json(const ScenarioOptions& opt, const std::string& bench_name,
                       const Table& t);
 
 /// Shared flag parsing for sodctl and the standalone scenario binaries.
-/// Understands --smoke, --nodes N, --policy P, --json [path] and collects
-/// the rest into opt.extra.  Returns false on malformed flags (message on
-/// stderr).
+/// Understands --smoke, --nodes N, --policy P, --churn X, --json [path]
+/// and collects the rest into opt.extra.  Returns false on malformed flags
+/// (message on stderr).
 /// `default_json_name` fills json_path when --json is given without a
 /// value ("" disables the bare form).
 bool parse_scenario_flags(const std::vector<std::string>& args, ScenarioOptions& opt,

@@ -37,7 +37,9 @@ int usage(std::FILE* to) {
                "  --smoke                   tiny problem sizes for CI smoke runs\n"
                "  --nodes N                 node count for cluster scenarios\n"
                "  --policy P                placement policy for cluster scenarios\n"
-               "                            (round-robin | least-loaded | locality-aware)\n"
+               "                            (round-robin | least-loaded | locality-aware |\n"
+               "                            learned)\n"
+               "  --churn X                 worker churn rate 0..1 for elastic scenarios\n"
                "  --json [path]             write the result table as JSON\n");
   return to == stdout ? 0 : 2;
 }

@@ -1,5 +1,6 @@
 #include "cluster/cluster.h"
 
+#include <bit>
 #include <span>
 #include <utility>
 #include <vector>
@@ -14,10 +15,17 @@ namespace {
 /// between chained segments (matches the Fig. 1(c) experiment).
 constexpr size_t kResultMsgBytes = 16;
 
-/// Copies `src`'s primitive static fields into `dst`'s slots for every
-/// static-bearing class loaded on both sides; returns the payload size.
-/// Ref statics are left alone: at a worker they are stubs that resolve
-/// against home's *current* fields, so they stay fresh by construction.
+/// Bitwise value identity: the statics refresh must not re-ship a field
+/// whose payload is unchanged (and must still ship e.g. a NaN that was
+/// overwritten by a different NaN).
+bool same_payload(const bc::Value& a, const bc::Value& b) {
+  if (a.tag != b.tag) return false;
+  if (a.tag == bc::Ty::F64) return std::bit_cast<int64_t>(a.d) == std::bit_cast<int64_t>(b.d);
+  return a.i == b.i;
+}
+
+}  // namespace
+
 size_t refresh_primitive_statics(mig::SodNode& src, mig::SodNode& dst) {
   const bc::Program& P = src.program();
   size_t bytes = 0;
@@ -31,6 +39,7 @@ size_t refresh_primitive_statics(mig::SodNode& src, mig::SodNode& dst) {
     for (uint16_t fid : cls.field_ids) {
       const bc::Field& f = P.field(fid);
       if (!f.is_static || f.type == bc::Ty::Ref) continue;
+      if (same_payload(dst_vals[f.slot], src_vals[f.slot])) continue;
       dst_vals[f.slot] = src_vals[f.slot];
       bytes += 8;
       changed = true;
@@ -40,14 +49,14 @@ size_t refresh_primitive_statics(mig::SodNode& src, mig::SodNode& dst) {
   return bytes;
 }
 
-}  // namespace
-
 Cluster::Cluster(const bc::Program& prog, mig::SodNode::Config home_cfg) : prog_(&prog) {
   home_ = std::make_unique<mig::SodNode>("home", prog, home_cfg);
 }
 
 int Cluster::add_worker(const WorkerSpec& spec) {
   SOD_CHECK(!spec.name.empty(), "worker name empty");
+  for (const Slot& s : workers_)
+    SOD_CHECK(s.node->name() != spec.name, "duplicate worker name '" + spec.name + "'");
   Slot s;
   s.node = std::make_unique<mig::SodNode>(spec.name, *prog_, spec.config);
   s.link = spec.link;
@@ -58,6 +67,33 @@ int Cluster::add_worker(const WorkerSpec& spec) {
 void Cluster::add_uniform_workers(int n, const mig::SodNode::Config& cfg) {
   for (int i = 0; i < n; ++i)
     add_worker(WorkerSpec{"worker" + std::to_string(size() + 1), cfg, sim::Link::gigabit()});
+}
+
+void Cluster::drain_worker(int id) {
+  SOD_CHECK(id >= 0 && id < size(), "bad worker id");
+  Slot& s = workers_[static_cast<size_t>(id)];
+  if (s.state == WorkerState::Retired) return;
+  s.state = s.queue.empty() ? WorkerState::Retired : WorkerState::Draining;
+}
+
+void Cluster::remove_worker(int id) {
+  SOD_CHECK(id >= 0 && id < size(), "bad worker id");
+  Slot& s = workers_[static_cast<size_t>(id)];
+  SOD_CHECK(s.queue.empty(),
+            "remove of worker '" + s.node->name() + "' with outstanding work (drain it first)");
+  s.state = WorkerState::Retired;
+}
+
+WorkerState Cluster::state(int id) const {
+  SOD_CHECK(id >= 0 && id < size(), "bad worker id");
+  return workers_[static_cast<size_t>(id)].state;
+}
+
+int Cluster::accepting_size() const {
+  int n = 0;
+  for (const Slot& s : workers_)
+    if (s.state == WorkerState::Active) ++n;
+  return n;
 }
 
 mig::SodNode& Cluster::worker(int id) const {
@@ -74,19 +110,30 @@ VDur Cluster::load(int id) const { return worker(id).node().clock.now(); }
 
 int Cluster::inflight(int id) const {
   SOD_CHECK(id >= 0 && id < size(), "bad worker id");
-  return workers_[static_cast<size_t>(id)].inflight;
+  return static_cast<int>(workers_[static_cast<size_t>(id)].queue.size());
 }
 
-void Cluster::note_assigned(int id) {
+VDur Cluster::queued_cost(int id) const {
   SOD_CHECK(id >= 0 && id < size(), "bad worker id");
-  ++workers_[static_cast<size_t>(id)].inflight;
+  VDur sum{};
+  for (VDur est : workers_[static_cast<size_t>(id)].queue) sum += est;
+  return sum;
+}
+
+void Cluster::note_assigned(int id, VDur est_cost) {
+  SOD_CHECK(id >= 0 && id < size(), "bad worker id");
+  Slot& s = workers_[static_cast<size_t>(id)];
+  SOD_CHECK(s.state == WorkerState::Active,
+            "assignment to non-accepting worker '" + s.node->name() + "'");
+  s.queue.push_back(est_cost);
 }
 
 void Cluster::note_completed(int id) {
   SOD_CHECK(id >= 0 && id < size(), "bad worker id");
   Slot& s = workers_[static_cast<size_t>(id)];
-  SOD_CHECK(s.inflight > 0, "completion without an assignment");
-  --s.inflight;
+  SOD_CHECK(!s.queue.empty(), "completion without an assignment");
+  s.queue.pop_front();
+  if (s.state == WorkerState::Draining && s.queue.empty()) s.state = WorkerState::Retired;
 }
 
 std::vector<mig::SegmentSpec> split_top_frames(int k) {
@@ -101,7 +148,7 @@ DispatchOutcome dispatch_segments(Cluster& c, int home_tid,
                                   const std::vector<mig::SegmentSpec>& specs,
                                   PlacementPolicy& policy, const DispatchOptions& opt) {
   mig::SodNode& home = c.home();
-  SOD_CHECK(c.size() > 0, "dispatch on a cluster with no workers");
+  SOD_CHECK(c.accepting_size() > 0, "dispatch on a cluster with no accepting workers");
   SOD_CHECK(!specs.empty(), "dispatch of zero segments");
   for (size_t i = 0; i < specs.size(); ++i) {
     SOD_CHECK(specs[i].len() >= 1, "empty segment spec");
@@ -119,24 +166,27 @@ DispatchOutcome dispatch_segments(Cluster& c, int home_tid,
 
   DispatchOutcome out;
   std::vector<std::unique_ptr<mig::Segment>> segs(specs.size());
+  std::vector<PlacementRequest> reqs(specs.size());
   out.placements.resize(specs.size());
 
   auto place_and_restore = [&](size_t i) {
     const mig::CapturedState& cs = states[i];
     uint16_t entry_cls = home.program().method(cs.frames[0].method).owner;
-    PlacementRequest req;
+    PlacementRequest& req = reqs[i];
     req.cls = entry_cls;
     req.state_bytes = cs.wire_size();
     req.class_image_bytes = home.program().class_image(entry_cls).size();
     int w = policy.choose(c, req);
     SOD_CHECK(w >= 0 && w < c.size(), "policy chose an invalid worker");
-    c.note_assigned(w);
+    SOD_CHECK(c.accepting(w), "policy chose a non-accepting worker");
+    c.note_assigned(w, policy.estimate(c, w, req));
     mig::SodNode& dst = c.worker(w);
 
     Placement& pl = out.placements[i];
     pl.worker = w;
     pl.worker_name = dst.name();
     pl.spec = specs[i];
+    pl.cls = entry_cls;
     pl.shipped_bytes = req.state_bytes;
     if (!dst.class_shipped(entry_cls)) pl.shipped_bytes += req.class_image_bytes;
 
@@ -167,7 +217,8 @@ DispatchOutcome dispatch_segments(Cluster& c, int home_tid,
       auto rep = mig::write_back(*segs[i - 1], home, home_tid, 0, bc::Value{}, c.link(up.worker));
       out.writeback_bytes += rep.bytes;
       // Primitive statics travel by value: resume with home's now-current
-      // copies (TSP's best-bound static is the canonical case).
+      // copies (TSP's best-bound static is the canonical case).  Unchanged
+      // fields ship nothing.
       size_t stat_bytes = refresh_primitive_statics(home, dst);
       if (up.worker != pl.worker) {
         // A Ref result is an id in the upper worker's heap; delivering it
@@ -190,9 +241,17 @@ DispatchOutcome dispatch_segments(Cluster& c, int home_tid,
       dst.ti().set_debug_enabled(true);
       seg.deliver(v_in);
     }
+    // Debug mode is per-node, not per-segment: a lower segment restored on
+    // this worker after `seg` left the node's debug interpreter on, and
+    // seg's own run_to_completion() would not drop it (its debug_held_ is
+    // false).  Force fast mode — the paper runs it outside migration
+    // events — or the whole execution is charged at the debug multiplier.
+    dst.ti().set_debug_enabled(false);
+    pl.executed_at = dst.node().clock.now();
     bc::Value v = seg.run_to_completion();
     pl.completed_at = dst.node().clock.now();
     c.note_completed(pl.worker);
+    policy.observe(c, reqs[i], pl);
     return v;
   };
 

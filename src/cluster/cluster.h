@@ -1,16 +1,28 @@
 // Cluster — load-aware placement over a home node plus heterogeneous
 // workers (the production shape of the paper's Fig. 1(b)/(c) flows).
 //
-// A Cluster owns the home SodNode and a set of workers, each with its own
-// CPU profile and its own simulated link back to home.  Placement policies
-// (cluster/placement.h) rank workers by virtual-clock load, link cost, and
-// shipped-class locality; dispatch_segments() splits the home thread's
-// paused stack into contiguous segments and keeps several of them in
-// flight on different workers at once, exploiting the latency-hiding
-// max(dst.now, src.now + transfer) delivery rule of sim/net.h: a lower
-// segment restores while the segment above it is still executing.
+// A Cluster owns the home SodNode and an elastic set of workers, each with
+// its own CPU profile and its own simulated link back to home.  Membership
+// is dynamic: workers join mid-run (add_worker), stop accepting new
+// segments while finishing queued work (drain_worker), and retire
+// (remove_worker) — the Boxer-style ephemeral-worker flow.  Worker ids are
+// dense and stable for the lifetime of the cluster; a retired worker keeps
+// its id and its final clock for traces, it just never receives work
+// again.
+//
+// Placement policies (cluster/placement.h) rank accepting workers by
+// virtual-clock load, queued-work cost, link cost, and shipped-class
+// locality; dispatch_segments() splits the home thread's paused stack into
+// contiguous segments and keeps several of them in flight on different
+// workers at once, exploiting the latency-hiding max(dst.now, src.now +
+// transfer) delivery rule of sim/net.h: a lower segment restores while the
+// segment above it is still executing.  Each worker owns a FIFO queue of
+// outstanding assignments with their estimated execution cost, so one
+// worker can hold several rounds and arrival estimates account for queued
+// work, not just the clock front.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,17 +41,39 @@ struct WorkerSpec {
   sim::Link link = sim::Link::gigabit();
 };
 
+/// Lifecycle of a worker slot.  Active workers accept new segments;
+/// draining workers finish their queued work and then retire; retired
+/// workers keep their id and final clock but never receive work again.
+enum class WorkerState { Active, Draining, Retired };
+
 /// Home node + workers, all hosting the same preprocessed program.
 class Cluster {
  public:
   explicit Cluster(const bc::Program& prog, mig::SodNode::Config home_cfg = {});
 
-  /// Adds a worker; returns its id (0-based, dense).
+  /// Adds a worker; returns its id (0-based, dense, stable).  Legal
+  /// mid-run: the next dispatch round sees the new worker.  Names must be
+  /// unique across the cluster's lifetime so placement traces and bench
+  /// rows stay unambiguous.
   int add_worker(const WorkerSpec& spec);
   /// Adds `n` identical gigabit workers named worker1..workerN.
   void add_uniform_workers(int n, const mig::SodNode::Config& cfg = {});
 
+  /// Stops new assignments to the worker; it retires as soon as its queue
+  /// drains (immediately when idle).
+  void drain_worker(int id);
+  /// Retires an idle worker immediately.  A worker with outstanding
+  /// assignments cannot be removed — drain it first.
+  void remove_worker(int id);
+
+  WorkerState state(int id) const;
+  /// Whether the worker may receive new assignments.
+  bool accepting(int id) const { return state(id) == WorkerState::Active; }
+  /// Workers currently accepting new assignments.
+  int accepting_size() const;
+
   mig::SodNode& home() { return *home_; }
+  /// Total worker slots ever added (including draining and retired ones).
   int size() const { return static_cast<int>(workers_.size()); }
   mig::SodNode& worker(int id) const;
   const sim::Link& link(int id) const;
@@ -52,18 +86,29 @@ class Cluster {
   bool holds_class(int id, uint16_t cls) const { return worker(id).class_shipped(cls); }
 
   /// Segments assigned to the worker whose execution time is not yet
-  /// reflected in its clock.  dispatch_segments() maintains this; policies
-  /// use it as their primary key (least-outstanding-requests), because a
+  /// reflected in its clock (the depth of its FIFO queue).
+  /// dispatch_segments() maintains this; policies use it because a
   /// worker's clock only advances once its segment actually runs.
   int inflight(int id) const;
-  void note_assigned(int id);
+  /// Sum of the estimated execution costs of the worker's queued
+  /// assignments.  Policies fold this into arrival estimates so a worker
+  /// holding several rounds is not mistaken for an idle one.
+  VDur queued_cost(int id) const;
+  /// Enqueues an assignment with the policy's execution-cost estimate
+  /// (VDur{} when the policy has none).  Panics on non-accepting workers.
+  void note_assigned(int id, VDur est_cost = {});
+  /// Dequeues the oldest assignment; a draining worker retires when its
+  /// queue empties.
   void note_completed(int id);
 
  private:
   struct Slot {
     std::unique_ptr<mig::SodNode> node;
     sim::Link link;
-    int inflight = 0;
+    WorkerState state = WorkerState::Active;
+    /// FIFO of estimated execution costs, one entry per outstanding
+    /// assignment (oldest first).
+    std::deque<VDur> queue;
   };
 
   const bc::Program* prog_;
@@ -82,8 +127,13 @@ struct Placement {
   int worker = -1;
   std::string worker_name;
   mig::SegmentSpec spec{};
+  uint16_t cls = 0;          ///< class of the segment's entry frame
   size_t shipped_bytes = 0;  ///< captured state + class image actually shipped
   VDur restored_at{};        ///< worker clock when its restore finished
+  VDur executed_at{};        ///< worker clock when its execution began (a
+                             ///< chained segment first waits for the
+                             ///< upstream result; the top segment runs
+                             ///< right after its restore)
   VDur completed_at{};       ///< worker clock when its execution finished
 };
 
@@ -102,11 +152,21 @@ struct DispatchOutcome {
 /// Splits the top `k` home frames into k single-frame segments, top first.
 std::vector<mig::SegmentSpec> split_top_frames(int k);
 
+/// Copies `src`'s primitive static fields into `dst`'s slots for every
+/// static-bearing class loaded on both sides; returns the wire bytes of
+/// the fields that actually differed (identical values ship nothing).
+/// Ref statics are left alone: at a worker they are stubs that resolve
+/// against home's *current* fields, so they stay fresh by construction.
+/// Exposed for tests; dispatch_segments uses it between chained segments.
+size_t refresh_primitive_statics(mig::SodNode& src, mig::SodNode& dst);
+
 /// Captures the contiguous top-of-stack segments `specs` (specs[0] must
 /// start at depth 0, each next one at the previous depth_hi) from the
 /// paused home thread, places each via `policy`, restores them on their
 /// workers, chains results downward (Segment::deliver), and writes the
-/// final result back home, leaving the home thread runnable.  The home
+/// final result back home, leaving the home thread runnable.  Completed
+/// placements are fed back to the policy (PlacementPolicy::observe) so
+/// learning policies can refine their execution-time estimates.  The home
 /// thread's top frame must be at a migration-safe point and its stack must
 /// be strictly deeper than specs.back().depth_hi.
 DispatchOutcome dispatch_segments(Cluster& c, int home_tid,

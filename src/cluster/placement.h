@@ -1,23 +1,36 @@
 // Placement policies — the scheduling half of the cluster layer.
 //
 // A PlacementPolicy picks the worker a captured stack segment should land
-// on.  Policies see the cluster's per-worker virtual-clock load, the link
-// each worker sits behind, and which class images a worker already holds
-// (SodNode::class_shipped), so they can trade off load, link cost, and
-// locality the way Boxer/Dandelion-style schedulers do.
+// on.  Policies see the cluster's per-worker virtual-clock load, queued
+// assignment costs, the link each worker sits behind, and which class
+// images a worker already holds (SodNode::class_shipped), so they can
+// trade off load, link cost, and locality the way Boxer/Dandelion-style
+// schedulers do.  Only accepting workers (Cluster::accepting) are ever
+// chosen — draining and retired members are invisible to placement.
+//
+// Every policy closes the loop: dispatch_segments feeds completed
+// placements back through observe(), which trains a per-class EWMA of
+// segment execution times (normalized to the reference CPU).  estimate()
+// turns the model into per-worker predicted execution costs — recorded
+// with each assignment so queued-work costs are real for every policy —
+// and the learned policy additionally *places* by predicted completion.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
+
+#include "support/vclock.h"
 
 namespace sod::cluster {
 
 class Cluster;
+struct Placement;
 
-enum class PolicyKind { RoundRobin, LeastLoaded, LocalityAware };
+enum class PolicyKind { RoundRobin, LeastLoaded, LocalityAware, Learned };
 
 /// What a segment about to be dispatched looks like to a policy.
 struct PlacementRequest {
@@ -30,15 +43,31 @@ class PlacementPolicy {
  public:
   virtual ~PlacementPolicy() = default;
   virtual const char* name() const = 0;
-  /// Picks a worker id in [0, c.size()).
+  /// Picks an accepting worker id in [0, c.size()).
   virtual int choose(const Cluster& c, const PlacementRequest& req) = 0;
+  /// Predicted execution cost of `req` on worker `w`: the per-class EWMA
+  /// of observed execution times scaled by the worker's CPU profile;
+  /// VDur{} before the first observation of the class.  dispatch_segments
+  /// records it with the assignment (Cluster::note_assigned) so
+  /// queued-but-not-yet-run work is visible in later arrival estimates.
+  virtual VDur estimate(const Cluster& c, int w, const PlacementRequest& req) const;
+  /// Feedback after a placement ran to completion: trains the per-class
+  /// EWMA from the executed_at -> completed_at span (execution only — the
+  /// wait for upstream results in a chained dispatch is excluded),
+  /// normalized to the reference CPU via the worker's cpu_scale.
+  virtual void observe(const Cluster& c, const PlacementRequest& req, const Placement& pl);
+
+ private:
+  static constexpr double kAlpha = 0.4;
+  /// Per-class EWMA of reference-CPU execution time, in nanoseconds.
+  std::unordered_map<uint16_t, double> ewma_ns_;
 };
 
 std::unique_ptr<PlacementPolicy> make_policy(PolicyKind kind);
 const char* policy_name(PolicyKind kind);
 
 /// Accepts dashed and underscored spellings: "round-robin"/"round_robin",
-/// "least-loaded", "locality-aware"; nullopt on anything else.
+/// "least-loaded", "locality-aware", "learned"; nullopt on anything else.
 std::optional<PolicyKind> parse_policy(std::string_view s);
 
 /// Every policy kind, in a stable comparison order.

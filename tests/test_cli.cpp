@@ -23,7 +23,7 @@ const std::set<std::string> kExpected = {
     "fib", "nqueens", "fft", "tsp", "docsearch", "photoshare",
     // benches
     "table1", "table2", "table3", "table4", "table5", "table6", "table7",
-    "fig1", "fig5", "placement", "roaming_grid", "overhead_components",
+    "fig1", "fig5", "placement", "elastic", "roaming_grid", "overhead_components",
     "ablation_fetch", "ablation_prefetch", "ablation_segments",
     // examples
     "quickstart", "elastic_search", "photo_share", "workflow_roaming"};
@@ -81,8 +81,28 @@ TEST(Flags, ParsesAndValidatesPolicy) {
   EXPECT_EQ(opt.policy, "least-loaded");
   ASSERT_TRUE(parse_scenario_flags({"--policy", "locality_aware"}, opt, ""));
   EXPECT_EQ(opt.policy, "locality_aware");
+  ASSERT_TRUE(parse_scenario_flags({"--policy", "learned"}, opt, ""));
+  EXPECT_EQ(opt.policy, "learned");
   EXPECT_FALSE(parse_scenario_flags({"--policy"}, opt, ""));
   EXPECT_FALSE(parse_scenario_flags({"--policy", "fastest"}, opt, ""));
+}
+
+TEST(Flags, ParsesAndValidatesChurn) {
+  ScenarioOptions opt;
+  EXPECT_EQ(opt.churn, -1.0);  // unset = scenario default
+  ASSERT_TRUE(parse_scenario_flags({"--churn", "0.2"}, opt, ""));
+  EXPECT_DOUBLE_EQ(opt.churn, 0.2);
+  ASSERT_TRUE(parse_scenario_flags({"--churn", "0"}, opt, ""));
+  EXPECT_DOUBLE_EQ(opt.churn, 0.0);
+  ASSERT_TRUE(parse_scenario_flags({"--churn", "1"}, opt, ""));
+  EXPECT_DOUBLE_EQ(opt.churn, 1.0);
+  EXPECT_FALSE(parse_scenario_flags({"--churn"}, opt, ""));
+  EXPECT_FALSE(parse_scenario_flags({"--churn", "1.5"}, opt, ""));
+  EXPECT_FALSE(parse_scenario_flags({"--churn", "-0.1"}, opt, ""));
+  EXPECT_FALSE(parse_scenario_flags({"--churn", "lots"}, opt, ""));
+  EXPECT_FALSE(parse_scenario_flags({"--churn", "nan"}, opt, ""));
+  EXPECT_FALSE(parse_scenario_flags({"--churn", "inf"}, opt, ""));
+  EXPECT_FALSE(parse_scenario_flags({"--churn", ""}, opt, ""));
 }
 
 TEST(Flags, BadNodesValueRejected) {

@@ -3,6 +3,9 @@
 // preserves app results while hiding freeze time (the Fig. 1(c) property).
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
 #include "cluster/cluster.h"
 #include "cluster/placement.h"
 #include "prep/prep.h"
@@ -12,6 +15,8 @@
 namespace sod::cluster {
 namespace {
 
+using bc::ProgramBuilder;
+using bc::Ty;
 using bc::Value;
 
 bc::Program prepped_fib() {
@@ -27,6 +32,7 @@ TEST(Policy, ParseAcceptsDashedAndUnderscoredSpellings) {
   EXPECT_EQ(parse_policy("least_loaded"), PolicyKind::LeastLoaded);
   EXPECT_EQ(parse_policy("locality-aware"), PolicyKind::LocalityAware);
   EXPECT_EQ(parse_policy("locality"), PolicyKind::LocalityAware);
+  EXPECT_EQ(parse_policy("learned"), PolicyKind::Learned);
   EXPECT_FALSE(parse_policy("fastest").has_value());
   EXPECT_FALSE(parse_policy("").has_value());
 }
@@ -155,6 +161,243 @@ TEST(Dispatch, ConcurrentShippingBeatsTheSequentialBaseline) {
   // Fig. 1(c): the concurrent total is strictly below the sum-of-sequential
   // offload total because transfer + restore of lower segments is hidden.
   EXPECT_LT(conc.ns, seq.ns);
+}
+
+// --- elastic membership ---
+
+TEST(Membership, DuplicateWorkerNamePanics) {
+  auto p = prepped_fib();
+  Cluster c(p);
+  c.add_worker({"alpha", {}, sim::Link::gigabit()});
+  EXPECT_DEATH(c.add_worker({"alpha", {}, sim::Link::gigabit()}), "duplicate worker name");
+}
+
+TEST(Membership, DrainRetiresWhenTheQueueEmpties) {
+  auto p = prepped_fib();
+  Cluster c(p);
+  c.add_uniform_workers(2);
+  c.note_assigned(0, VDur::millis(1));
+  c.drain_worker(0);
+  EXPECT_EQ(c.state(0), WorkerState::Draining);
+  EXPECT_FALSE(c.accepting(0));
+  EXPECT_EQ(c.accepting_size(), 1);
+  c.note_completed(0);
+  EXPECT_EQ(c.state(0), WorkerState::Retired);
+  // An idle worker retires the moment it is drained.
+  c.drain_worker(1);
+  EXPECT_EQ(c.state(1), WorkerState::Retired);
+  EXPECT_EQ(c.accepting_size(), 0);
+}
+
+TEST(Membership, RemoveRequiresAnIdleWorker) {
+  auto p = prepped_fib();
+  Cluster c(p);
+  c.add_uniform_workers(2);
+  c.note_assigned(0);
+  EXPECT_DEATH(c.remove_worker(0), "outstanding work");
+  c.remove_worker(1);
+  EXPECT_EQ(c.state(1), WorkerState::Retired);
+  c.note_completed(0);
+  c.remove_worker(0);
+  EXPECT_EQ(c.accepting_size(), 0);
+}
+
+TEST(Membership, AssignToNonAcceptingWorkerPanics) {
+  auto p = prepped_fib();
+  Cluster c(p);
+  c.add_uniform_workers(2);
+  c.drain_worker(0);
+  EXPECT_DEATH(c.note_assigned(0), "non-accepting");
+}
+
+TEST(Policy, RoundRobinStaysValidAcrossMembershipChurn) {
+  auto p = prepped_fib();
+  Cluster c(p);
+  c.add_uniform_workers(3);
+  auto pol = make_policy(PolicyKind::RoundRobin);
+  PlacementRequest req;
+  // The counter wraps modularly (regression: the signed counter used to
+  // overflow and produce negative ids) and only accepting members are
+  // returned, across drains, removals, and joins.
+  for (int i = 0; i < 1000; ++i) {
+    int w = pol->choose(c, req);
+    ASSERT_GE(w, 0);
+    ASSERT_LT(w, c.size());
+    ASSERT_TRUE(c.accepting(w));
+    if (i == 200) c.drain_worker(1);
+    if (i == 400) c.remove_worker(0);
+    if (i == 600) c.add_worker({"late-joiner", {}, sim::Link::gigabit()});
+  }
+  // Only worker 2 and the late joiner still accept; the cycle covers both.
+  std::set<int> seen;
+  for (int i = 0; i < 4; ++i) seen.insert(pol->choose(c, req));
+  EXPECT_EQ(seen, (std::set<int>{2, 3}));
+}
+
+TEST(Policy, PoliciesSkipDrainingAndRetiredWorkers) {
+  auto p = prepped_fib();
+  Cluster c(p);
+  c.add_uniform_workers(3);
+  c.drain_worker(0);
+  c.remove_worker(2);
+  PlacementRequest req;
+  req.state_bytes = 256;
+  for (PolicyKind kind : all_policies()) {
+    auto pol = make_policy(kind);
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(pol->choose(c, req), 1) << policy_name(kind);
+  }
+}
+
+TEST(Policy, QueuedCostRaisesTheArrivalEstimate) {
+  auto p = prepped_fib();
+  Cluster c(p);
+  c.add_uniform_workers(2);
+  // Worker 0 holds ONE expensive queued round, worker 1 TWO cheap ones:
+  // count-based accounting prefers worker 0, cost-based prefers worker 1.
+  c.note_assigned(0, VDur::millis(50));
+  c.note_assigned(1, VDur::micros(10));
+  c.note_assigned(1, VDur::micros(10));
+  EXPECT_EQ(c.queued_cost(0), VDur::millis(50));
+  EXPECT_EQ(c.inflight(0), 1);
+  EXPECT_EQ(c.inflight(1), 2);
+  PlacementRequest req;
+  req.state_bytes = 256;
+  auto least = make_policy(PolicyKind::LeastLoaded);
+  auto learned = make_policy(PolicyKind::Learned);
+  EXPECT_EQ(least->choose(c, req), 0);    // inflight count is its primary key
+  EXPECT_EQ(learned->choose(c, req), 1);  // predicted completion sees the 50 ms
+}
+
+TEST(Policy, LearnedConvergesToTheFasterWorker) {
+  auto p = prepped_fib();
+  uint16_t cls = p.method(p.find_method("Main.fib")).owner;
+  Cluster c(p);
+  mig::SodNode::Config slow;
+  slow.cpu_scale = 25.0;
+  c.add_worker({"slow", slow, sim::Link::gigabit()});
+  c.add_worker({"fast", {}, sim::Link::gigabit()});
+  PlacementRequest req;
+  req.cls = cls;
+  req.state_bytes = 256;
+  auto pol = make_policy(PolicyKind::Learned);
+  // Cold: no execution-time estimate, equal links and loads — the tie
+  // lands on the first worker, the slow one.
+  EXPECT_EQ(pol->choose(c, req), 0);
+  // One observed execution on the slow worker teaches the policy the
+  // class's reference-CPU cost; the 25x cpu_scale then prices the slow
+  // worker out.
+  Placement pl;
+  pl.worker = 0;
+  pl.cls = cls;
+  pl.executed_at = VDur::millis(1);
+  pl.completed_at = VDur::millis(26);  // 25 ms on the slow CPU = 1 ms reference
+  pol->observe(c, req, pl);
+  EXPECT_GT(pol->estimate(c, 0, req), pol->estimate(c, 1, req));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(pol->choose(c, req), 1);
+  // Further observations on the fast worker keep the EWMA consistent and
+  // the choice stable.
+  Placement pl2;
+  pl2.worker = 1;
+  pl2.cls = cls;
+  pl2.executed_at = VDur::millis(2);
+  pl2.completed_at = VDur::millis(3);
+  pol->observe(c, req, pl2);
+  EXPECT_EQ(pol->choose(c, req), 1);
+}
+
+TEST(Cluster, NoOpStaticRefreshShipsNothing) {
+  ProgramBuilder pb;
+  auto& cls = pb.cls("Main");
+  cls.field("counter", Ty::I64, /*is_static=*/true);
+  auto& m = cls.method("touch", {}, Ty::I64);
+  m.stmt().getstatic("Main.counter").iret();
+  auto p = pb.build();
+  prep::preprocess_program(p);
+
+  mig::SodNode src("src", p, {});
+  mig::SodNode dst("dst", p, {});
+  src.call_guest("Main.touch", std::vector<Value>{});
+  dst.call_guest("Main.touch", std::vector<Value>{});
+
+  uint16_t cid = p.find_class("Main");
+  ASSERT_TRUE(src.vm().class_loaded(cid));
+  ASSERT_TRUE(dst.vm().class_loaded(cid));
+
+  // Identical statics: nothing to ship (regression: 8 bytes were charged
+  // and the class marked changed even for identical values).
+  EXPECT_EQ(refresh_primitive_statics(src, dst), 0u);
+
+  uint16_t fid = p.find_field("Main.counter");
+  std::vector<Value> vals(src.vm().statics_of(cid).begin(), src.vm().statics_of(cid).end());
+  vals[p.field(fid).slot] = Value::of_i64(42);
+  src.vm().overwrite_statics(cid, std::move(vals));
+  EXPECT_EQ(refresh_primitive_statics(src, dst), 8u);  // the changed field ships once
+  EXPECT_EQ(dst.vm().statics_of(cid)[p.field(fid).slot].as_i64(), 42);
+  EXPECT_EQ(refresh_primitive_statics(src, dst), 0u);  // and is a no-op afterwards
+}
+
+TEST(Dispatch, ChainedSegmentsRunInFastModeDespiteSharedWorkerRestores) {
+  // Exec-time parity between a collision-free dispatch (3 segments on 3
+  // workers) and one where a lower segment restores on the top segment's
+  // worker (3 segments on 2 workers).  A lower segment's restore leaves
+  // the shared worker's debug interpreter on; the top segment must still
+  // execute in fast mode (regression: it ran at the 10x debug multiplier).
+  auto exec_span_of_top = [](int nworkers) {
+    auto p = prepped_fib();
+    uint16_t fib = p.find_method("Main.fib");
+    Cluster c(p);
+    c.add_uniform_workers(nworkers);
+    int tid = c.home().vm().spawn(fib, std::vector<Value>{Value::of_i64(22)});
+    EXPECT_TRUE(mig::pause_at_depth(c.home(), tid, fib, 4));
+    auto pol = make_policy(PolicyKind::RoundRobin);
+    auto out = dispatch_segments(c, tid, split_top_frames(3), *pol);
+    c.home().ti().set_debug_enabled(false);
+    EXPECT_EQ(c.home().run_guest(tid).reason, svm::StopReason::Done);
+    EXPECT_EQ(c.home().vm().thread(tid).result.as_i64(), sod::testing::fib_ref(22));
+    return out.placements[0].completed_at - out.placements[0].restored_at;
+  };
+  VDur clean = exec_span_of_top(3);    // top segment alone on its worker
+  VDur shared = exec_span_of_top(2);   // segment 2 also restores on worker 0
+  // The shared-worker span additionally contains segment 2's restore, but
+  // nothing close to a 10x-inflated execution.
+  EXPECT_LT(shared.ns, clean.ns * 3);
+}
+
+TEST(Dispatch, JoinAndDrainBetweenRounds) {
+  auto p = prepped_fib();
+  uint16_t fib = p.find_method("Main.fib");
+  Cluster c(p);
+  c.add_uniform_workers(2);
+  int tid = c.home().vm().spawn(fib, std::vector<Value>{Value::of_i64(24)});
+  auto pol = make_policy(PolicyKind::RoundRobin);
+
+  auto round = [&](int k) {
+    EXPECT_TRUE(mig::pause_at_depth(c.home(), tid, fib, k + 2));
+    auto out = dispatch_segments(c, tid, split_top_frames(k), *pol);
+    c.home().ti().set_debug_enabled(false);
+    return out;
+  };
+
+  auto r1 = round(2);
+  ASSERT_EQ(r1.placements.size(), 2u);
+
+  // A worker joining mid-run is visible to the very next round: a
+  // full-width round touches every accepting member, the joiner included.
+  int joiner = c.add_worker({"joiner", {}, sim::Link::gigabit()});
+  auto r2 = round(3);
+  bool joiner_used = false;
+  for (const auto& pl : r2.placements) joiner_used = joiner_used || pl.worker == joiner;
+  EXPECT_TRUE(joiner_used);
+
+  // A drained worker stops receiving segments and retires once idle.
+  c.drain_worker(0);
+  EXPECT_EQ(c.state(0), WorkerState::Retired);  // queue empty between rounds
+  auto r3 = round(2);
+  for (const auto& pl : r3.placements) EXPECT_NE(pl.worker, 0);
+
+  c.home().ti().set_debug_enabled(false);
+  ASSERT_EQ(c.home().run_guest(tid).reason, svm::StopReason::Done);
+  EXPECT_EQ(c.home().vm().thread(tid).result.as_i64(), sod::testing::fib_ref(24));
 }
 
 TEST(Dispatch, MultiFrameSegmentsChainAcrossWorkers) {

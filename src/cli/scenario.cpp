@@ -106,6 +106,35 @@ bool maybe_write_json(const ScenarioOptions& opt, const std::string& bench_name,
   return true;
 }
 
+namespace {
+
+/// One diagnostic per malformed numeric flag: the offending token quoted
+/// exactly once, followed by the accepted range (regression: the elastic
+/// scenario's --churn error used to repeat the raw argv token).
+void bad_value(const char* flag, const std::string& token, const char* range) {
+  std::fprintf(stderr, "sodctl: bad %s value '%s' (expected %s)\n", flag, token.c_str(),
+               range);
+}
+
+/// Parses args[i+1] as an integer in [lo, hi] into `out`; advances `i`.
+bool parse_int_flag(const std::vector<std::string>& args, size_t& i, const char* flag,
+                    long lo, long hi, const char* range, int& out) {
+  if (i + 1 >= args.size()) {
+    std::fprintf(stderr, "sodctl: %s requires a value\n", flag);
+    return false;
+  }
+  char* end = nullptr;
+  long v = std::strtol(args[++i].c_str(), &end, 10);
+  if (end == args[i].c_str() || *end != '\0' || v < lo || v > hi) {
+    bad_value(flag, args[i], range);
+    return false;
+  }
+  out = static_cast<int>(v);
+  return true;
+}
+
+}  // namespace
+
 bool parse_scenario_flags(const std::vector<std::string>& args, ScenarioOptions& opt,
                           const std::string& default_json_name) {
   for (size_t i = 0; i < args.size(); ++i) {
@@ -113,17 +142,14 @@ bool parse_scenario_flags(const std::vector<std::string>& args, ScenarioOptions&
     if (a == "--smoke") {
       opt.smoke = true;
     } else if (a == "--nodes") {
-      if (i + 1 >= args.size()) {
-        std::fprintf(stderr, "sodctl: --nodes requires a value\n");
+      if (!parse_int_flag(args, i, "--nodes", 1, 1024, "an integer in 1..1024", opt.nodes))
         return false;
-      }
-      char* end = nullptr;
-      long v = std::strtol(args[++i].c_str(), &end, 10);
-      if (end == nullptr || *end != '\0' || v < 1 || v > 1024) {
-        std::fprintf(stderr, "sodctl: bad --nodes value '%s'\n", args[i].c_str());
+    } else if (a == "--fail-at") {
+      if (!parse_int_flag(args, i, "--fail-at", 0, 1000000,
+                          "a segment-completion count in 0..1000000", opt.fail_at))
         return false;
-      }
-      opt.nodes = static_cast<int>(v);
+    } else if (a == "--autoscale") {
+      opt.autoscale = true;
     } else if (a == "--policy") {
       if (i + 1 >= args.size()) {
         std::fprintf(stderr, "sodctl: --policy requires a value\n");
@@ -145,8 +171,7 @@ bool parse_scenario_flags(const std::vector<std::string>& args, ScenarioOptions&
       char* end = nullptr;
       double v = std::strtod(args[++i].c_str(), &end);
       if (end == args[i].c_str() || *end != '\0' || !std::isfinite(v) || v < 0.0 || v > 1.0) {
-        std::fprintf(stderr, "sodctl: bad --churn value '%s' (expected 0..1)\n",
-                     args[i].c_str());
+        bad_value("--churn", args[i], "a rate in 0..1");
         return false;
       }
       opt.churn = v;

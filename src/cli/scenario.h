@@ -33,6 +33,15 @@ struct ScenarioOptions {
   /// rounds that trigger a membership event (a join, with a matching drain
   /// a few rounds later).  Negative = scenario default.
   double churn = -1.0;
+  /// Inject a worker failure after this many cluster-wide segment
+  /// completions (scenarios built on the cluster Scheduler); the
+  /// scheduler re-dispatches the lost worker's outstanding segments.
+  /// Negative = no injected failure.
+  int fail_at = -1;
+  /// Attach the queue-depth autoscaler (scenarios with a standby pool):
+  /// standby workers join above the high-water queue depth and drain
+  /// below the low-water mark.
+  bool autoscale = false;
   /// When non-empty, bench scenarios write their result table here as
   /// schema-stable JSON (see Table::json).
   std::string json_path;
@@ -89,9 +98,10 @@ bool maybe_write_json(const ScenarioOptions& opt, const std::string& bench_name,
                       const Table& t);
 
 /// Shared flag parsing for sodctl and the standalone scenario binaries.
-/// Understands --smoke, --nodes N, --policy P, --churn X, --json [path]
-/// and collects the rest into opt.extra.  Returns false on malformed flags
-/// (message on stderr).
+/// Understands --smoke, --nodes N, --policy P, --churn X, --fail-at N,
+/// --autoscale, --json [path] and collects the rest into opt.extra.
+/// Returns false on malformed flags (one diagnostic per error on stderr,
+/// quoting the offending token once with the accepted range).
 /// `default_json_name` fills json_path when --json is given without a
 /// value ("" disables the bare form).
 bool parse_scenario_flags(const std::vector<std::string>& args, ScenarioOptions& opt,

@@ -11,6 +11,7 @@
 #include "cli/scenario.h"
 #include "cluster/cluster.h"
 #include "cluster/placement.h"
+#include "cluster/scheduler.h"
 #include "prep/prep.h"
 #include "sod/migrate.h"
 

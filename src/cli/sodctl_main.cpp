@@ -40,6 +40,9 @@ int usage(std::FILE* to) {
                "                            (round-robin | least-loaded | locality-aware |\n"
                "                            learned)\n"
                "  --churn X                 worker churn rate 0..1 for elastic scenarios\n"
+               "  --fail-at N               fail a worker after N segment completions\n"
+               "                            (the scheduler re-dispatches its segments)\n"
+               "  --autoscale               join/drain standby workers from queue depth\n"
                "  --json [path]             write the result table as JSON\n");
   return to == stdout ? 0 : 2;
 }

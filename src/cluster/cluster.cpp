@@ -1,53 +1,8 @@
 #include "cluster/cluster.h"
 
-#include <bit>
-#include <span>
 #include <utility>
-#include <vector>
-
-#include "cluster/placement.h"
 
 namespace sod::cluster {
-
-namespace {
-
-/// Wire size of the small "here is your caller's value" message forwarded
-/// between chained segments (matches the Fig. 1(c) experiment).
-constexpr size_t kResultMsgBytes = 16;
-
-/// Bitwise value identity: the statics refresh must not re-ship a field
-/// whose payload is unchanged (and must still ship e.g. a NaN that was
-/// overwritten by a different NaN).
-bool same_payload(const bc::Value& a, const bc::Value& b) {
-  if (a.tag != b.tag) return false;
-  if (a.tag == bc::Ty::F64) return std::bit_cast<int64_t>(a.d) == std::bit_cast<int64_t>(b.d);
-  return a.i == b.i;
-}
-
-}  // namespace
-
-size_t refresh_primitive_statics(mig::SodNode& src, mig::SodNode& dst) {
-  const bc::Program& P = src.program();
-  size_t bytes = 0;
-  for (const auto& cls : P.classes) {
-    if (cls.num_static_slots == 0) continue;
-    if (!src.vm().class_loaded(cls.id) || !dst.vm().class_loaded(cls.id)) continue;
-    std::span<const bc::Value> src_vals = src.vm().statics_of(cls.id);
-    std::vector<bc::Value> dst_vals(dst.vm().statics_of(cls.id).begin(),
-                                    dst.vm().statics_of(cls.id).end());
-    bool changed = false;
-    for (uint16_t fid : cls.field_ids) {
-      const bc::Field& f = P.field(fid);
-      if (!f.is_static || f.type == bc::Ty::Ref) continue;
-      if (same_payload(dst_vals[f.slot], src_vals[f.slot])) continue;
-      dst_vals[f.slot] = src_vals[f.slot];
-      bytes += 8;
-      changed = true;
-    }
-    if (changed) dst.vm().overwrite_statics(cls.id, std::move(dst_vals));
-  }
-  return bytes;
-}
 
 Cluster::Cluster(const bc::Program& prog, mig::SodNode::Config home_cfg) : prog_(&prog) {
   home_ = std::make_unique<mig::SodNode>("home", prog, home_cfg);
@@ -72,16 +27,29 @@ void Cluster::add_uniform_workers(int n, const mig::SodNode::Config& cfg) {
 void Cluster::drain_worker(int id) {
   SOD_CHECK(id >= 0 && id < size(), "bad worker id");
   Slot& s = workers_[static_cast<size_t>(id)];
-  if (s.state == WorkerState::Retired) return;
+  if (s.state == WorkerState::Retired || s.state == WorkerState::Lost) return;
+  // An idle worker retires the moment it is drained; only a worker with
+  // outstanding assignments lingers in Draining until its queue empties.
   s.state = s.queue.empty() ? WorkerState::Retired : WorkerState::Draining;
 }
 
 void Cluster::remove_worker(int id) {
   SOD_CHECK(id >= 0 && id < size(), "bad worker id");
   Slot& s = workers_[static_cast<size_t>(id)];
+  if (s.state == WorkerState::Retired || s.state == WorkerState::Lost) return;
   SOD_CHECK(s.queue.empty(),
             "remove of worker '" + s.node->name() + "' with outstanding work (drain it first)");
   s.state = WorkerState::Retired;
+}
+
+int Cluster::fail_worker(int id) {
+  SOD_CHECK(id >= 0 && id < size(), "bad worker id");
+  Slot& s = workers_[static_cast<size_t>(id)];
+  if (s.state == WorkerState::Retired || s.state == WorkerState::Lost) return 0;
+  int dropped = static_cast<int>(s.queue.size());
+  s.queue.clear();
+  s.state = WorkerState::Lost;
+  return dropped;
 }
 
 WorkerState Cluster::state(int id) const {
@@ -113,6 +81,17 @@ int Cluster::inflight(int id) const {
   return static_cast<int>(workers_[static_cast<size_t>(id)].queue.size());
 }
 
+double Cluster::mean_queue_depth() const {
+  int accepting = 0;
+  int queued = 0;
+  for (const Slot& s : workers_) {
+    if (s.state != WorkerState::Active) continue;
+    ++accepting;
+    queued += static_cast<int>(s.queue.size());
+  }
+  return accepting == 0 ? 0.0 : static_cast<double>(queued) / accepting;
+}
+
 VDur Cluster::queued_cost(int id) const {
   SOD_CHECK(id >= 0 && id < size(), "bad worker id");
   VDur sum{};
@@ -134,150 +113,6 @@ void Cluster::note_completed(int id) {
   SOD_CHECK(!s.queue.empty(), "completion without an assignment");
   s.queue.pop_front();
   if (s.state == WorkerState::Draining && s.queue.empty()) s.state = WorkerState::Retired;
-}
-
-std::vector<mig::SegmentSpec> split_top_frames(int k) {
-  SOD_CHECK(k >= 1, "split of zero frames");
-  std::vector<mig::SegmentSpec> specs;
-  specs.reserve(static_cast<size_t>(k));
-  for (int i = 0; i < k; ++i) specs.push_back(mig::SegmentSpec{i, i + 1});
-  return specs;
-}
-
-DispatchOutcome dispatch_segments(Cluster& c, int home_tid,
-                                  const std::vector<mig::SegmentSpec>& specs,
-                                  PlacementPolicy& policy, const DispatchOptions& opt) {
-  mig::SodNode& home = c.home();
-  SOD_CHECK(c.accepting_size() > 0, "dispatch on a cluster with no accepting workers");
-  SOD_CHECK(!specs.empty(), "dispatch of zero segments");
-  for (size_t i = 0; i < specs.size(); ++i) {
-    SOD_CHECK(specs[i].len() >= 1, "empty segment spec");
-    int expect_lo = i == 0 ? 0 : specs[i - 1].depth_hi;
-    SOD_CHECK(specs[i].depth_lo == expect_lo, "segment specs not contiguous from the top");
-  }
-
-  // Capture every segment while the thread is paused, then drop debug mode
-  // (the paper keeps the tool interface off outside migration events).
-  std::vector<mig::CapturedState> states;
-  states.reserve(specs.size());
-  for (const auto& s : specs) states.push_back(mig::capture_segment(home, home_tid, s));
-  home.ti().set_debug_enabled(false);
-  home.sync_ti_cost();
-
-  DispatchOutcome out;
-  std::vector<std::unique_ptr<mig::Segment>> segs(specs.size());
-  std::vector<PlacementRequest> reqs(specs.size());
-  out.placements.resize(specs.size());
-
-  auto place_and_restore = [&](size_t i) {
-    const mig::CapturedState& cs = states[i];
-    uint16_t entry_cls = home.program().method(cs.frames[0].method).owner;
-    PlacementRequest& req = reqs[i];
-    req.cls = entry_cls;
-    req.state_bytes = cs.wire_size();
-    req.class_image_bytes = home.program().class_image(entry_cls).size();
-    int w = policy.choose(c, req);
-    SOD_CHECK(w >= 0 && w < c.size(), "policy chose an invalid worker");
-    SOD_CHECK(c.accepting(w), "policy chose a non-accepting worker");
-    c.note_assigned(w, policy.estimate(c, w, req));
-    mig::SodNode& dst = c.worker(w);
-
-    Placement& pl = out.placements[i];
-    pl.worker = w;
-    pl.worker_name = dst.name();
-    pl.spec = specs[i];
-    pl.cls = entry_cls;
-    pl.shipped_bytes = req.state_bytes;
-    if (!dst.class_shipped(entry_cls)) pl.shipped_bytes += req.class_image_bytes;
-
-    dst.mark_class_shipped(entry_cls);
-    dst.enable_class_fetch(&home, c.link(w));
-    home.node().charge_host(
-        home.serde().cost(req.state_bytes, static_cast<int>(cs.frames.size())));
-    sim::deliver(home.node(), dst.node(), c.link(w), pl.shipped_bytes);
-
-    segs[i] = std::make_unique<mig::Segment>(dst);
-    segs[i]->objman().bind_home(&home, home_tid, specs[i].depth_hi, c.link(w));
-    segs[i]->restore(cs);
-    pl.restored_at = dst.node().clock.now();
-  };
-
-  auto execute = [&](size_t i, bc::Value v_in) {
-    Placement& pl = out.placements[i];
-    mig::Segment& seg = *segs[i];
-    mig::SodNode& dst = c.worker(pl.worker);
-    // Re-bind the worker's objman.* natives to this segment: a later
-    // segment restored on the same worker overwrote them.
-    seg.objman().install(dst);
-    if (i > 0) {
-      const Placement& up = out.placements[i - 1];
-      // The upper segment's updates must reach home before this segment
-      // resumes: object faults and ref-static stubs resolve against home's
-      // current state (sequential offload got this ordering for free).
-      auto rep = mig::write_back(*segs[i - 1], home, home_tid, 0, bc::Value{}, c.link(up.worker));
-      out.writeback_bytes += rep.bytes;
-      // Primitive statics travel by value: resume with home's now-current
-      // copies (TSP's best-bound static is the canonical case).  Unchanged
-      // fields ship nothing.
-      size_t stat_bytes = refresh_primitive_statics(home, dst);
-      if (up.worker != pl.worker) {
-        // A Ref result is an id in the upper worker's heap; delivering it
-        // into another worker's VM would alias or dangle.  Cross-worker
-        // ref chaining needs write-back-style translation (not built yet).
-        SOD_CHECK(v_in.tag != bc::Ty::Ref,
-                  "ref-typed result chained across workers is not supported");
-        // The result is relayed worker -> home -> worker (links are
-        // home-anchored), so it pays both the source uplink and the
-        // destination downlink; home only stores-and-forwards.
-        VDur arrival = c.worker(up.worker).node().clock.now() +
-                       c.link(up.worker).transfer_time(kResultMsgBytes) +
-                       c.link(pl.worker).transfer_time(kResultMsgBytes);
-        dst.node().clock.wait_until(arrival);
-      }
-      if (stat_bytes > 0) sim::deliver(home.node(), dst.node(), c.link(pl.worker), stat_bytes);
-      out.overlapped = out.overlapped || pl.restored_at < up.completed_at;
-      // A completed upper segment on this worker may have dropped debug
-      // mode; deliver() needs its pending-call breakpoint to fire.
-      dst.ti().set_debug_enabled(true);
-      seg.deliver(v_in);
-    }
-    // Debug mode is per-node, not per-segment: a lower segment restored on
-    // this worker after `seg` left the node's debug interpreter on, and
-    // seg's own run_to_completion() would not drop it (its debug_held_ is
-    // false).  Force fast mode — the paper runs it outside migration
-    // events — or the whole execution is charged at the debug multiplier.
-    dst.ti().set_debug_enabled(false);
-    pl.executed_at = dst.node().clock.now();
-    bc::Value v = seg.run_to_completion();
-    pl.completed_at = dst.node().clock.now();
-    c.note_completed(pl.worker);
-    policy.observe(c, reqs[i], pl);
-    return v;
-  };
-
-  bc::Value v{};
-  if (opt.concurrent) {
-    // All segments ship from home's current send front and restore while
-    // upstream segments execute (freeze-time hiding).
-    for (size_t i = 0; i < specs.size(); ++i) place_and_restore(i);
-    for (size_t i = 0; i < specs.size(); ++i) v = execute(i, v);
-  } else {
-    for (size_t i = 0; i < specs.size(); ++i) {
-      if (i > 0) home.node().clock.wait_until(out.placements[i - 1].completed_at);
-      place_and_restore(i);
-      v = execute(i, v);
-    }
-  }
-
-  // Upper segments wrote their updates back inside the chain; the bottom
-  // segment's write-back pops the whole migrated span and makes the home
-  // thread runnable again.
-  auto rep = mig::write_back(*segs.back(), home, home_tid, specs.back().depth_hi, v,
-                             c.link(out.placements.back().worker));
-  out.writeback_bytes += rep.bytes;
-  for (const auto& seg : segs) out.faults += seg->objman().stats().faults;
-  out.result = v;
-  return out;
 }
 
 }  // namespace sod::cluster

@@ -4,22 +4,17 @@
 // A Cluster owns the home SodNode and an elastic set of workers, each with
 // its own CPU profile and its own simulated link back to home.  Membership
 // is dynamic: workers join mid-run (add_worker), stop accepting new
-// segments while finishing queued work (drain_worker), and retire
-// (remove_worker) — the Boxer-style ephemeral-worker flow.  Worker ids are
-// dense and stable for the lifetime of the cluster; a retired worker keeps
-// its id and its final clock for traces, it just never receives work
-// again.
+// segments while finishing queued work (drain_worker), retire
+// (remove_worker) — the Boxer-style ephemeral-worker flow — or are lost
+// outright (fail_worker), dropping their outstanding assignments for the
+// scheduler to re-dispatch.  Worker ids are dense and stable for the
+// lifetime of the cluster; a retired or lost worker keeps its id and its
+// final clock for traces, it just never receives work again.
 //
-// Placement policies (cluster/placement.h) rank accepting workers by
-// virtual-clock load, queued-work cost, link cost, and shipped-class
-// locality; dispatch_segments() splits the home thread's paused stack into
-// contiguous segments and keeps several of them in flight on different
-// workers at once, exploiting the latency-hiding max(dst.now, src.now +
-// transfer) delivery rule of sim/net.h: a lower segment restores while the
-// segment above it is still executing.  Each worker owns a FIFO queue of
-// outstanding assignments with their estimated execution cost, so one
-// worker can hold several rounds and arrival estimates account for queued
-// work, not just the clock front.
+// This header is the membership/state half of the cluster layer; the
+// execution half — the event-driven Scheduler, placement-driven segment
+// dispatch, worker-failure re-dispatch, and the queue-depth autoscaler —
+// lives in cluster/scheduler.h.
 #pragma once
 
 #include <deque>
@@ -43,8 +38,10 @@ struct WorkerSpec {
 
 /// Lifecycle of a worker slot.  Active workers accept new segments;
 /// draining workers finish their queued work and then retire; retired
-/// workers keep their id and final clock but never receive work again.
-enum class WorkerState { Active, Draining, Retired };
+/// workers left gracefully; lost workers failed with their queue dropped.
+/// Retired and lost workers keep their id and final clock but never
+/// receive work again.
+enum class WorkerState { Active, Draining, Retired, Lost };
 
 /// Home node + workers, all hosting the same preprocessed program.
 class Cluster {
@@ -60,11 +57,17 @@ class Cluster {
   void add_uniform_workers(int n, const mig::SodNode::Config& cfg = {});
 
   /// Stops new assignments to the worker; it retires as soon as its queue
-  /// drains (immediately when idle).
+  /// drains (immediately when idle — no next-round lag).
   void drain_worker(int id);
   /// Retires an idle worker immediately.  A worker with outstanding
   /// assignments cannot be removed — drain it first.
   void remove_worker(int id);
+  /// Drops the worker mid-run (crash / network partition): its queued
+  /// assignments are discarded and it never receives work again.  Returns
+  /// the number of assignments dropped — the caller (the scheduler) owns
+  /// re-dispatching those segments to surviving workers.  No-op on a
+  /// worker that already left.
+  int fail_worker(int id);
 
   WorkerState state(int id) const;
   /// Whether the worker may receive new assignments.
@@ -73,7 +76,8 @@ class Cluster {
   int accepting_size() const;
 
   mig::SodNode& home() { return *home_; }
-  /// Total worker slots ever added (including draining and retired ones).
+  /// Total worker slots ever added (including draining, retired, and lost
+  /// ones).
   int size() const { return static_cast<int>(workers_.size()); }
   mig::SodNode& worker(int id) const;
   const sim::Link& link(int id) const;
@@ -86,10 +90,13 @@ class Cluster {
   bool holds_class(int id, uint16_t cls) const { return worker(id).class_shipped(cls); }
 
   /// Segments assigned to the worker whose execution time is not yet
-  /// reflected in its clock (the depth of its FIFO queue).
-  /// dispatch_segments() maintains this; policies use it because a
-  /// worker's clock only advances once its segment actually runs.
+  /// reflected in its clock (the depth of its FIFO queue).  The scheduler
+  /// maintains this; policies use it because a worker's clock only
+  /// advances once its segment actually runs.
   int inflight(int id) const;
+  /// Mean FIFO depth over the accepting workers — the autoscaler's
+  /// queue-depth signal.  0 when nobody accepts.
+  double mean_queue_depth() const;
   /// Sum of the estimated execution costs of the worker's queued
   /// assignments.  Policies fold this into arrival estimates so a worker
   /// holding several rounds is not mistaken for an idle one.
@@ -115,62 +122,5 @@ class Cluster {
   std::unique_ptr<mig::SodNode> home_;
   std::vector<Slot> workers_;
 };
-
-struct DispatchOptions {
-  /// Ship every segment as soon as it is serialized (the Fig. 1(c)
-  /// latency-hiding path).  When false, segment i+1 leaves home only after
-  /// segment i completed remotely — the sequential baseline.
-  bool concurrent = true;
-};
-
-struct Placement {
-  int worker = -1;
-  std::string worker_name;
-  mig::SegmentSpec spec{};
-  uint16_t cls = 0;          ///< class of the segment's entry frame
-  size_t shipped_bytes = 0;  ///< captured state + class image actually shipped
-  VDur restored_at{};        ///< worker clock when its restore finished
-  VDur executed_at{};        ///< worker clock when its execution began (a
-                             ///< chained segment first waits for the
-                             ///< upstream result; the top segment runs
-                             ///< right after its restore)
-  VDur completed_at{};       ///< worker clock when its execution finished
-};
-
-struct DispatchOutcome {
-  std::vector<Placement> placements;
-  /// Bottom segment's raw result (worker-local refs for Ref results; the
-  /// home-translated value lands in the resumed home frame via write-back).
-  bc::Value result{};
-  int faults = 0;
-  size_t writeback_bytes = 0;
-  /// True when at least one lower segment finished restoring before the
-  /// segment above it finished executing (freeze time hidden).
-  bool overlapped = false;
-};
-
-/// Splits the top `k` home frames into k single-frame segments, top first.
-std::vector<mig::SegmentSpec> split_top_frames(int k);
-
-/// Copies `src`'s primitive static fields into `dst`'s slots for every
-/// static-bearing class loaded on both sides; returns the wire bytes of
-/// the fields that actually differed (identical values ship nothing).
-/// Ref statics are left alone: at a worker they are stubs that resolve
-/// against home's *current* fields, so they stay fresh by construction.
-/// Exposed for tests; dispatch_segments uses it between chained segments.
-size_t refresh_primitive_statics(mig::SodNode& src, mig::SodNode& dst);
-
-/// Captures the contiguous top-of-stack segments `specs` (specs[0] must
-/// start at depth 0, each next one at the previous depth_hi) from the
-/// paused home thread, places each via `policy`, restores them on their
-/// workers, chains results downward (Segment::deliver), and writes the
-/// final result back home, leaving the home thread runnable.  Completed
-/// placements are fed back to the policy (PlacementPolicy::observe) so
-/// learning policies can refine their execution-time estimates.  The home
-/// thread's top frame must be at a migration-safe point and its stack must
-/// be strictly deeper than specs.back().depth_hi.
-DispatchOutcome dispatch_segments(Cluster& c, int home_tid,
-                                  const std::vector<mig::SegmentSpec>& specs,
-                                  PlacementPolicy& policy, const DispatchOptions& opt = {});
 
 }  // namespace sod::cluster

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "cluster/cluster.h"
+#include "cluster/scheduler.h"
 #include "support/panic.h"
 
 namespace sod::cluster {
@@ -125,6 +126,8 @@ class Learned final : public PlacementPolicy {
 };
 
 }  // namespace
+
+void PlacementPolicy::observe(const Cluster&, const Event&) {}
 
 VDur PlacementPolicy::estimate(const Cluster& c, int w, const PlacementRequest& req) const {
   auto it = ewma_ns_.find(req.cls);

@@ -1,0 +1,393 @@
+#include "cluster/scheduler.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "cluster/placement.h"
+
+namespace sod::cluster {
+
+namespace {
+
+/// Wire size of the small "here is your caller's value" message forwarded
+/// between chained segments (matches the Fig. 1(c) experiment).  A
+/// cross-worker ref result rides the same message: the payload already
+/// went home with the upstream write-back, so only the handle travels.
+constexpr size_t kResultMsgBytes = 16;
+
+/// Bitwise value identity: the statics refresh must not re-ship a field
+/// whose payload is unchanged (and must still ship e.g. a NaN that was
+/// overwritten by a different NaN).
+bool same_payload(const bc::Value& a, const bc::Value& b) {
+  if (a.tag != b.tag) return false;
+  if (a.tag == bc::Ty::F64) return std::bit_cast<int64_t>(a.d) == std::bit_cast<int64_t>(b.d);
+  return a.i == b.i;
+}
+
+}  // namespace
+
+const char* event_name(EventKind k) {
+  switch (k) {
+    case EventKind::SegmentDispatched: return "segment_dispatched";
+    case EventKind::SegmentCompleted: return "segment_completed";
+    case EventKind::SegmentFailed: return "segment_failed";
+    case EventKind::WorkerJoined: return "worker_joined";
+    case EventKind::WorkerDraining: return "worker_draining";
+    case EventKind::WorkerLost: return "worker_lost";
+    case EventKind::AutoscaleTick: return "autoscale_tick";
+  }
+  SOD_UNREACHABLE("bad EventKind");
+}
+
+size_t refresh_primitive_statics(mig::SodNode& src, mig::SodNode& dst) {
+  const bc::Program& P = src.program();
+  size_t bytes = 0;
+  for (const auto& cls : P.classes) {
+    if (cls.num_static_slots == 0) continue;
+    if (!src.vm().class_loaded(cls.id) || !dst.vm().class_loaded(cls.id)) continue;
+    std::span<const bc::Value> src_vals = src.vm().statics_of(cls.id);
+    std::vector<bc::Value> dst_vals(dst.vm().statics_of(cls.id).begin(),
+                                    dst.vm().statics_of(cls.id).end());
+    bool changed = false;
+    for (uint16_t fid : cls.field_ids) {
+      const bc::Field& f = P.field(fid);
+      if (!f.is_static || f.type == bc::Ty::Ref) continue;
+      if (same_payload(dst_vals[f.slot], src_vals[f.slot])) continue;
+      dst_vals[f.slot] = src_vals[f.slot];
+      bytes += 8;
+      changed = true;
+    }
+    if (changed) dst.vm().overwrite_statics(cls.id, std::move(dst_vals));
+  }
+  return bytes;
+}
+
+std::vector<mig::SegmentSpec> split_top_frames(int k) {
+  SOD_CHECK(k >= 1, "split of zero frames");
+  std::vector<mig::SegmentSpec> specs;
+  specs.reserve(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) specs.push_back(mig::SegmentSpec{i, i + 1});
+  return specs;
+}
+
+// ---------------------------------------------------------------- autoscaler
+
+std::optional<Autoscaler::Action> Autoscaler::tick(Cluster& c, bool placement_phase) {
+  // Joiners the cluster already drained/lost behind our back (scenario
+  // churn, failures) no longer count as scalable capacity.
+  while (!joined_.empty() && c.state(joined_.back()) != WorkerState::Active)
+    joined_.pop_back();
+  double depth = c.mean_queue_depth();
+  if (depth > cfg_.high_water && next_standby_ < standby_.size()) {
+    int id = c.add_worker(standby_[next_standby_++]);
+    joined_.push_back(id);
+    ++joins_;
+    return Action{EventKind::WorkerJoined, id};
+  }
+  if (placement_phase && depth < cfg_.low_water && !joined_.empty()) {
+    int id = joined_.back();
+    joined_.pop_back();
+    // Immediate retire when idle (no next-round lag); otherwise the
+    // worker finishes its queue and retires on its last completion.
+    c.drain_worker(id);
+    ++drains_;
+    return Action{EventKind::WorkerDraining, id};
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------- scheduler
+
+/// Per-segment lifecycle state for the current round.
+struct Scheduler::Task {
+  mig::SegmentSpec spec{};
+  mig::CapturedState cs;
+  std::unique_ptr<mig::Segment> seg;
+  PlacementRequest req{};
+  Placement pl{};
+  bool dispatched = false;
+  bool completed = false;
+  int attempts = 0;
+  bc::Value result{};       ///< worker-local result after execution
+  bc::Value home_result{};  ///< home-translated result (ref-forwarding entry)
+};
+
+Scheduler::Scheduler(Cluster& c, PlacementPolicy& policy, DispatchOptions opt)
+    : c_(&c), policy_(&policy), opt_(opt) {}
+
+Scheduler::~Scheduler() = default;
+
+void Scheduler::fail_after(int completions, int worker) {
+  SOD_CHECK(completions >= 0, "fail_after with a negative completion count");
+  plans_.push_back(FailurePlan{completions, worker});
+}
+
+void Scheduler::fail_worker(int worker) { do_fail(worker); }
+
+void Scheduler::emit(EventKind kind, VDur at, int segment, int worker) {
+  Event e;
+  e.kind = kind;
+  e.at = at;
+  e.seq = seq_++;
+  e.round = round_;
+  e.segment = segment;
+  e.worker = worker;
+  log_.push_back(e);
+  policy_->observe(*c_, e);
+}
+
+int Scheduler::pick_failure_target() const {
+  int best = -1;
+  for (int w = 0; w < c_->size(); ++w) {
+    if (!c_->accepting(w)) continue;
+    if (best < 0 || c_->inflight(w) > c_->inflight(best)) best = w;
+  }
+  SOD_CHECK(best >= 0, "failure injection on a cluster with no accepting workers");
+  return best;
+}
+
+void Scheduler::do_fail(int worker) {
+  if (worker < 0) worker = pick_failure_target();
+  SOD_CHECK(worker >= 0 && worker < c_->size(), "fail of a bad worker id");
+  if (c_->state(worker) == WorkerState::Retired || c_->state(worker) == WorkerState::Lost)
+    return;
+  int dropped = c_->fail_worker(worker);
+  ++lost_total_;
+  emit(EventKind::WorkerLost, c_->home_now(), -1, worker);
+  SOD_CHECK(c_->accepting_size() > 0, "worker failure left no accepting workers");
+  if (out_ == nullptr) return;  // between rounds: nothing in flight
+  // Re-dispatch every outstanding assignment of the lost worker.  Its
+  // queued + in-flight segments never executed (execution is what retires
+  // a queue entry), so re-running each from its captured state keeps
+  // every segment executed exactly once; the re-dispatch re-ships the
+  // class image when the survivor lacks it, and the delivery-time statics
+  // refresh replays earlier write-backs idempotently.
+  int requeued = 0;
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    Task& t = tasks_[i];
+    if (!t.dispatched || t.completed || t.pl.worker != worker) continue;
+    emit(EventKind::SegmentFailed, c_->home_now(), static_cast<int>(i), worker);
+    dispatch(i);
+    ++out_->redispatched;
+    ++redispatched_total_;
+    ++requeued;
+  }
+  SOD_CHECK(requeued == dropped, "lost-worker queue out of sync with the task table");
+}
+
+void Scheduler::process_failure_plans() {
+  for (FailurePlan& plan : plans_) {
+    if (plan.fired || completed_total_ < plan.at_completions) continue;
+    plan.fired = true;
+    do_fail(plan.worker);
+  }
+}
+
+void Scheduler::autoscale_tick(bool placement_phase) {
+  if (!autoscaler_) return;
+  emit(EventKind::AutoscaleTick, c_->home_now(), -1, -1);
+  if (auto action = autoscaler_->tick(*c_, placement_phase))
+    emit(action->kind, c_->home_now(), -1, action->worker);
+}
+
+void Scheduler::dispatch(size_t i) {
+  Task& t = tasks_[i];
+  mig::SodNode& home = c_->home();
+  const mig::CapturedState& cs = t.cs;
+  uint16_t entry_cls = home.program().method(cs.frames[0].method).owner;
+  t.req.cls = entry_cls;
+  t.req.state_bytes = cs.wire_size();
+  t.req.class_image_bytes = home.program().class_image(entry_cls).size();
+  int w = policy_->choose(*c_, t.req);
+  SOD_CHECK(w >= 0 && w < c_->size(), "policy chose an invalid worker");
+  SOD_CHECK(c_->accepting(w), "policy chose a non-accepting worker");
+  c_->note_assigned(w, policy_->estimate(*c_, w, t.req));
+  mig::SodNode& dst = c_->worker(w);
+
+  Placement& pl = t.pl;
+  pl = Placement{};
+  pl.worker = w;
+  pl.worker_name = dst.name();
+  pl.spec = t.spec;
+  pl.cls = entry_cls;
+  pl.attempts = ++t.attempts;
+  pl.shipped_bytes = t.req.state_bytes;
+  if (!dst.class_shipped(entry_cls)) pl.shipped_bytes += t.req.class_image_bytes;
+
+  dst.mark_class_shipped(entry_cls);
+  dst.enable_class_fetch(&home, c_->link(w));
+  // A re-dispatch re-serializes and re-ships from home's current send
+  // front: the original copy died with the lost worker.
+  home.node().charge_host(
+      home.serde().cost(t.req.state_bytes, static_cast<int>(cs.frames.size())));
+  sim::deliver(home.node(), dst.node(), c_->link(w), pl.shipped_bytes);
+
+  t.seg = std::make_unique<mig::Segment>(dst);
+  t.seg->objman().bind_home(&home, home_tid_, t.spec.depth_hi, c_->link(w));
+  t.seg->restore(cs);
+  pl.restored_at = dst.node().clock.now();
+  t.dispatched = true;
+  emit(EventKind::SegmentDispatched, pl.restored_at, static_cast<int>(i), w);
+}
+
+void Scheduler::execute(size_t i) {
+  Task& t = tasks_[i];
+  mig::SodNode& home = c_->home();
+  Placement& pl = t.pl;
+  mig::Segment& seg = *t.seg;
+  mig::SodNode& dst = c_->worker(pl.worker);
+  // Re-bind the worker's objman.* natives to this segment: a later
+  // segment restored on the same worker overwrote them.
+  seg.objman().install(dst);
+  if (i > 0) {
+    const Task& up = tasks_[i - 1];
+    // The upper segment's updates reached home with its completion
+    // write-back; resume with home's now-current primitive statics (TSP's
+    // best-bound static is the canonical case).  Unchanged fields ship
+    // nothing, so a re-dispatched segment replays this refresh
+    // idempotently against its new worker.
+    size_t stat_bytes = refresh_primitive_statics(home, dst);
+    bc::Value v_in = up.result;
+    if (up.pl.worker != pl.worker) {
+      // The result is relayed worker -> home -> worker (links are
+      // home-anchored), so it pays both the source uplink and the
+      // destination downlink; home only stores-and-forwards.
+      VDur arrival = c_->worker(up.pl.worker).node().clock.now() +
+                     c_->link(up.pl.worker).transfer_time(kResultMsgBytes) +
+                     c_->link(pl.worker).transfer_time(kResultMsgBytes);
+      dst.node().clock.wait_until(arrival);
+      if (v_in.tag == bc::Ty::Ref && v_in.r != bc::kNull) {
+        // Cross-worker ref chaining: the upstream worker's heap id would
+        // alias or dangle here.  The upstream write-back already
+        // translated the result into a home ref; forward that handle and
+        // materialize it as a stub — the object body is fetched lazily on
+        // first touch.
+        SOD_CHECK(up.home_result.tag == bc::Ty::Ref && up.home_result.r != bc::kNull,
+                  "cross-worker ref result missing from the forwarding table");
+        bc::Ref stub = dst.vm().heap().alloc_stub(up.home_result.r);
+        v_in = bc::Value::of_ref(stub);
+        forwards_.push_back(RefForward{round_, static_cast<int>(i) - 1, up.pl.worker,
+                                       pl.worker, up.home_result.r});
+        ++out_->ref_forwards;
+      }
+    }
+    if (stat_bytes > 0) sim::deliver(home.node(), dst.node(), c_->link(pl.worker), stat_bytes);
+    out_->overlapped = out_->overlapped || pl.restored_at < up.pl.completed_at;
+    // A completed upper segment on this worker may have dropped debug
+    // mode; deliver() needs its pending-call breakpoint to fire.
+    dst.ti().set_debug_enabled(true);
+    seg.deliver(v_in);
+  }
+  // Debug mode is per-node, not per-segment: a lower segment restored on
+  // this worker after `seg` left the node's debug interpreter on, and
+  // seg's own run_to_completion() would not drop it (its debug_held_ is
+  // false).  Force fast mode — the paper runs it outside migration
+  // events — or the whole execution is charged at the debug multiplier.
+  dst.ti().set_debug_enabled(false);
+  pl.executed_at = dst.node().clock.now();
+  t.result = seg.run_to_completion();
+  pl.completed_at = dst.node().clock.now();
+  c_->note_completed(pl.worker);
+  t.completed = true;
+  ++completed_total_;
+  policy_->observe(*c_, t.req, pl);
+}
+
+void Scheduler::write_back(size_t i) {
+  Task& t = tasks_[i];
+  bool bottom = i + 1 == tasks_.size();
+  // Every segment's updates (and its result, translated into home refs)
+  // go home eagerly at completion, so completed work survives any later
+  // worker loss and ref results are forwardable; the bottom segment's
+  // write-back additionally pops the whole migrated span and makes the
+  // home thread runnable again.
+  auto rep = mig::write_back(*t.seg, c_->home(), home_tid_, bottom ? t.spec.depth_hi : 0,
+                             t.result, c_->link(t.pl.worker));
+  out_->writeback_bytes += rep.bytes;
+  t.home_result = rep.home_result;
+}
+
+bool Scheduler::exactly_once() const {
+  std::map<std::pair<int, int>, std::pair<int, int>> counts;  // key -> (dispatched, completed)
+  for (const Event& e : log_) {
+    if (e.kind == EventKind::SegmentDispatched) ++counts[{e.round, e.segment}].first;
+    if (e.kind == EventKind::SegmentCompleted) ++counts[{e.round, e.segment}].second;
+  }
+  for (const auto& [key, c] : counts)
+    if (c.first < 1 || c.second != 1) return false;
+  return true;
+}
+
+DispatchOutcome Scheduler::run(int home_tid, const std::vector<mig::SegmentSpec>& specs) {
+  mig::SodNode& home = c_->home();
+  ++round_;
+  SOD_CHECK(c_->accepting_size() > 0, "dispatch on a cluster with no accepting workers");
+  SOD_CHECK(!specs.empty(), "dispatch of zero segments");
+  for (size_t i = 0; i < specs.size(); ++i) {
+    SOD_CHECK(specs[i].len() >= 1, "empty segment spec");
+    int expect_lo = i == 0 ? 0 : specs[i - 1].depth_hi;
+    SOD_CHECK(specs[i].depth_lo == expect_lo, "segment specs not contiguous from the top");
+  }
+
+  // Capture every segment while the thread is paused, then drop debug mode
+  // (the paper keeps the tool interface off outside migration events).
+  home_tid_ = home_tid;
+  tasks_.clear();
+  tasks_.reserve(specs.size());
+  for (const auto& s : specs) {
+    Task t;
+    t.spec = s;
+    t.cs = mig::capture_segment(home, home_tid, s);
+    tasks_.push_back(std::move(t));
+  }
+  home.ti().set_debug_enabled(false);
+  home.sync_ti_cost();
+
+  DispatchOutcome out;
+  out_ = &out;
+  // Failure plans already due (scheduled in a previous round) fire before
+  // placement so a lost worker never receives this round's segments.
+  process_failure_plans();
+
+  if (opt_.concurrent) {
+    // All segments ship from home's current send front and restore while
+    // upstream segments execute (freeze-time hiding).
+    for (size_t i = 0; i < tasks_.size(); ++i) dispatch(i);
+    autoscale_tick(/*placement_phase=*/true);
+  }
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    if (!opt_.concurrent) {
+      if (i > 0) home.node().clock.wait_until(tasks_[i - 1].pl.completed_at);
+      dispatch(i);
+      autoscale_tick(/*placement_phase=*/true);
+    }
+    execute(i);
+    write_back(i);
+    emit(EventKind::SegmentCompleted, tasks_[i].pl.completed_at, static_cast<int>(i),
+         tasks_[i].pl.worker);
+    process_failure_plans();
+    autoscale_tick(/*placement_phase=*/false);
+  }
+
+  out.placements.reserve(tasks_.size());
+  for (Task& t : tasks_) {
+    out.faults += t.seg->objman().stats().faults;
+    out.placements.push_back(t.pl);
+  }
+  out.result = tasks_.back().result;
+  out_ = nullptr;
+  return out;
+}
+
+DispatchOutcome dispatch_segments(Cluster& c, int home_tid,
+                                  const std::vector<mig::SegmentSpec>& specs,
+                                  PlacementPolicy& policy, const DispatchOptions& opt) {
+  Scheduler s(c, policy, opt);
+  return s.run(home_tid, specs);
+}
+
+}  // namespace sod::cluster

@@ -1,0 +1,262 @@
+// Scheduler — the event-driven execution half of the cluster layer.
+//
+// A Scheduler drives multi-segment dispatch over virtual time as an
+// explicit event loop instead of one inlined planning pass: placements,
+// completions, failures, membership changes, and autoscale decisions are
+// all Events, appended to a totally ordered log (the same seed and the
+// same failure schedule reproduce the same log and the same virtual-time
+// tables).  On top of the loop sit the elasticity features the monolithic
+// loop could not express:
+//
+//  - worker failure: fail_worker()/fail_after() drop a worker mid-run;
+//    the scheduler re-dispatches its queued + in-flight segments to
+//    surviving workers through the active policy, re-shipping class
+//    images and replaying write-backs idempotently (each segment's
+//    updates write back eagerly at completion, so completed work survives
+//    any later loss; primitive-statics refreshes re-ship only fields that
+//    still differ).
+//  - queue-depth autoscaler: an Autoscaler joins workers from a standby
+//    pool when the mean accepting-worker queue depth crosses a high-water
+//    mark and drains the newest joiner when it falls below a low-water
+//    mark, driven by AutoscaleTick events.
+//  - cross-worker ref chaining: a ref-typed segment result forwards
+//    worker -> worker through a home-mediated ref-forwarding table — the
+//    upstream completion write-back translates the result into a home
+//    ref, the downstream worker receives a 16-byte handle materialized as
+//    a heap stub, and the object body is fetched lazily on first touch
+//    (no synchronous home round-trip of the payload).
+//
+// dispatch_segments() remains as a thin wrapper: it builds a one-round
+// Scheduler and runs the event stream.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace sod::cluster {
+
+class PlacementPolicy;
+struct PlacementRequest;
+
+/// What happened at one instant of the scheduler's virtual-time loop.
+enum class EventKind {
+  SegmentDispatched,  ///< segment placed, shipped, and restored on a worker
+  SegmentCompleted,   ///< segment executed; its updates are home
+  SegmentFailed,      ///< assignment died with its worker; re-dispatching
+  WorkerJoined,       ///< autoscaler promoted a standby worker
+  WorkerDraining,     ///< autoscaler started draining a joiner
+  WorkerLost,         ///< worker failed; its queue was dropped
+  AutoscaleTick,      ///< queue-depth evaluation point
+};
+
+const char* event_name(EventKind k);
+
+/// One entry of the scheduler's totally ordered event log.  `seq` breaks
+/// virtual-time ties deterministically; `round` counts Scheduler::run
+/// calls over the scheduler's lifetime.
+struct Event {
+  EventKind kind{};
+  VDur at{};
+  int seq = 0;
+  int round = -1;
+  int segment = -1;  ///< dispatch-local segment index (segment events)
+  int worker = -1;   ///< worker id (segment + membership events)
+};
+
+struct DispatchOptions {
+  /// Ship every segment as soon as it is serialized (the Fig. 1(c)
+  /// latency-hiding path).  When false, segment i+1 leaves home only after
+  /// segment i completed remotely — the sequential baseline.
+  bool concurrent = true;
+};
+
+struct Placement {
+  int worker = -1;
+  std::string worker_name;
+  mig::SegmentSpec spec{};
+  uint16_t cls = 0;          ///< class of the segment's entry frame
+  size_t shipped_bytes = 0;  ///< captured state + class image actually shipped
+  int attempts = 1;          ///< dispatches incl. re-dispatches after worker loss
+  VDur restored_at{};        ///< worker clock when its restore finished
+  VDur executed_at{};        ///< worker clock when its execution began (a
+                             ///< chained segment first waits for the
+                             ///< upstream result; the top segment runs
+                             ///< right after its restore)
+  VDur completed_at{};       ///< worker clock when its execution finished
+};
+
+struct DispatchOutcome {
+  std::vector<Placement> placements;
+  /// Bottom segment's raw result (worker-local refs for Ref results; the
+  /// home-translated value lands in the resumed home frame via write-back).
+  bc::Value result{};
+  int faults = 0;
+  size_t writeback_bytes = 0;
+  /// True when at least one lower segment finished restoring before the
+  /// segment above it finished executing (freeze time hidden).
+  bool overlapped = false;
+  /// Segments re-dispatched to a survivor after their worker was lost.
+  int redispatched = 0;
+  /// Ref-typed results forwarded worker -> worker via home-mediated
+  /// handles (the cross-worker ref chain).
+  int ref_forwards = 0;
+};
+
+/// Splits the top `k` home frames into k single-frame segments, top first.
+std::vector<mig::SegmentSpec> split_top_frames(int k);
+
+/// Copies `src`'s primitive static fields into `dst`'s slots for every
+/// static-bearing class loaded on both sides; returns the wire bytes of
+/// the fields that actually differed (identical values ship nothing, so
+/// replaying the refresh after a re-dispatch is idempotent).  Ref statics
+/// are left alone: at a worker they are stubs that resolve against home's
+/// *current* fields, so they stay fresh by construction.
+size_t refresh_primitive_statics(mig::SodNode& src, mig::SodNode& dst);
+
+/// Queue-depth autoscaler: joins standby workers when the mean accepting
+/// queue depth exceeds the high-water mark and drains the newest joiner
+/// when it falls below the low-water mark.  Join decisions run on every
+/// AutoscaleTick; drain decisions only on placement-phase ticks (right
+/// after a round's placements, when queue depths carry signal — the
+/// post-completion troughs would otherwise flap the membership).
+class Autoscaler {
+ public:
+  struct Config {
+    double high_water = 1.25;
+    double low_water = 0.4;
+  };
+
+  Autoscaler(Config cfg, std::vector<WorkerSpec> standby)
+      : cfg_(cfg), standby_(std::move(standby)) {}
+
+  struct Action {
+    EventKind kind;  ///< WorkerJoined or WorkerDraining
+    int worker;
+  };
+  /// Evaluates one AutoscaleTick against the cluster, applying at most one
+  /// membership action (add_worker / drain_worker).  The scheduler turns
+  /// the returned action into an event.
+  std::optional<Action> tick(Cluster& c, bool placement_phase);
+
+  int joins() const { return joins_; }
+  int drains() const { return drains_; }
+  int standby_left() const { return static_cast<int>(standby_.size() - next_standby_); }
+
+ private:
+  Config cfg_;
+  std::vector<WorkerSpec> standby_;  ///< consumed front to back
+  size_t next_standby_ = 0;
+  std::vector<int> joined_;  ///< active joiner ids, join order (drained LIFO)
+  int joins_ = 0;
+  int drains_ = 0;
+};
+
+/// The event loop.  One Scheduler persists across dispatch rounds so the
+/// failure plan, the autoscaler, the ref-forwarding table, and the event
+/// log span a whole scenario run.
+class Scheduler {
+ public:
+  Scheduler(Cluster& c, PlacementPolicy& policy, DispatchOptions opt = {});
+  ~Scheduler();  // Task is private and defined in the .cpp
+
+  Cluster& cluster() { return *c_; }
+
+  /// Attach the queue-depth autoscaler (nullptr detaches).
+  void set_autoscaler(std::unique_ptr<Autoscaler> a) { autoscaler_ = std::move(a); }
+  Autoscaler* autoscaler() { return autoscaler_.get(); }
+
+  /// Schedules a worker loss once `completions` SegmentCompleted events
+  /// have fired over the scheduler's lifetime.  `worker` < 0 picks the
+  /// accepting worker with the deepest queue at the firing instant (ties
+  /// to the lowest id) — the most disruptive deterministic choice.
+  void fail_after(int completions, int worker = -1);
+  /// Fails a worker immediately: drops its queue and, mid-run,
+  /// re-dispatches its outstanding segments to surviving workers.
+  void fail_worker(int worker);
+
+  /// Captures the contiguous top-of-stack segments `specs` (specs[0] must
+  /// start at depth 0, each next one at the previous depth_hi) from the
+  /// paused home thread, then runs the event loop: each segment is
+  /// placed via the policy, restored on its worker, executed when its
+  /// upstream result arrives, and written back home at completion; the
+  /// bottom segment's write-back pops the migrated span and leaves the
+  /// home thread runnable.  Worker losses and autoscale actions interleave
+  /// with the segment lifecycle as events.  The home thread's top frame
+  /// must be at a migration-safe point and its stack must be strictly
+  /// deeper than specs.back().depth_hi.
+  DispatchOutcome run(int home_tid, const std::vector<mig::SegmentSpec>& specs);
+
+  /// Totally ordered event log across all rounds so far.
+  const std::vector<Event>& log() const { return log_; }
+  /// The exactly-once execution invariant, checked against the log: every
+  /// (round, segment) that was ever dispatched has exactly one
+  /// SegmentCompleted — re-dispatched segments complete once on their
+  /// survivor, never zero times and never twice.
+  bool exactly_once() const;
+  /// Rounds run so far (the `round` stamped on events).
+  int rounds() const { return round_ + 1; }
+  int completions() const { return completed_total_; }
+  int workers_lost() const { return lost_total_; }
+  int redispatches() const { return redispatched_total_; }
+
+  /// One home-mediated ref forward: segment `segment`'s result, produced
+  /// on `src_worker`, delivered to `dst_worker` as a handle for home ref
+  /// `home_ref`.
+  struct RefForward {
+    int round;
+    int segment;
+    int src_worker;
+    int dst_worker;
+    bc::Ref home_ref;
+  };
+  const std::vector<RefForward>& ref_forwards() const { return forwards_; }
+
+ private:
+  struct Task;
+  struct FailurePlan {
+    int at_completions;
+    int worker;
+    bool fired = false;
+  };
+
+  void emit(EventKind kind, VDur at, int segment, int worker);
+  void dispatch(size_t i);
+  void execute(size_t i);
+  void write_back(size_t i);
+  void do_fail(int worker);
+  int pick_failure_target() const;
+  void process_failure_plans();
+  void autoscale_tick(bool placement_phase);
+
+  Cluster* c_;
+  PlacementPolicy* policy_;
+  DispatchOptions opt_;
+  std::unique_ptr<Autoscaler> autoscaler_;
+  std::vector<FailurePlan> plans_;
+  std::vector<Event> log_;
+  std::vector<RefForward> forwards_;
+  int seq_ = 0;
+  int round_ = -1;
+  int completed_total_ = 0;
+  int lost_total_ = 0;
+  int redispatched_total_ = 0;
+
+  // Live only inside run(); do_fail consults them for mid-run re-dispatch.
+  int home_tid_ = -1;
+  std::vector<Task> tasks_;
+  DispatchOutcome* out_ = nullptr;
+};
+
+/// Thin wrapper for one-shot dispatch: builds a single-round Scheduler
+/// (no failure plan, no autoscaler) and runs the event stream.  Completed
+/// placements are fed back to the policy (PlacementPolicy::observe) so
+/// learning policies can refine their execution-time estimates.
+DispatchOutcome dispatch_segments(Cluster& c, int home_tid,
+                                  const std::vector<mig::SegmentSpec>& specs,
+                                  PlacementPolicy& policy, const DispatchOptions& opt = {});
+
+}  // namespace sod::cluster

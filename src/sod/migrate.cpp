@@ -567,6 +567,7 @@ WriteBackReport write_back(Segment& seg, SodNode& home, int home_tid, int frames
   ByteReader r(w.bytes());
   WriteBackApplier applier(home);
   Value home_result = applier.apply(r);
+  rep.home_result = home_result;
 
   // Pop the outdated frames; the last pop delivers the return value.  A
   // frames_to_pop of 0 is an updates-only write-back (multi-segment

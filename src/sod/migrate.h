@@ -92,6 +92,12 @@ struct WriteBackReport {
   size_t bytes = 0;
   int objects_updated = 0;
   int objects_created = 0;
+  /// The result value translated into home refs (applying the write-back
+  /// materializes created objects, so a ref result is a live home
+  /// object).  The cluster scheduler records it in its ref-forwarding
+  /// table to chain ref results across workers without re-shipping the
+  /// payload.
+  Value home_result{};
 };
 WriteBackReport write_back(Segment& seg, SodNode& home, int home_tid, int frames_to_pop,
                            Value result, sim::Link link);

@@ -23,8 +23,8 @@ const std::set<std::string> kExpected = {
     "fib", "nqueens", "fft", "tsp", "docsearch", "photoshare",
     // benches
     "table1", "table2", "table3", "table4", "table5", "table6", "table7",
-    "fig1", "fig5", "placement", "elastic", "roaming_grid", "overhead_components",
-    "ablation_fetch", "ablation_prefetch", "ablation_segments",
+    "fig1", "fig5", "placement", "elastic", "failover", "roaming_grid",
+    "overhead_components", "ablation_fetch", "ablation_prefetch", "ablation_segments",
     // examples
     "quickstart", "elastic_search", "photo_share", "workflow_roaming"};
 
@@ -103,6 +103,35 @@ TEST(Flags, ParsesAndValidatesChurn) {
   EXPECT_FALSE(parse_scenario_flags({"--churn", "nan"}, opt, ""));
   EXPECT_FALSE(parse_scenario_flags({"--churn", "inf"}, opt, ""));
   EXPECT_FALSE(parse_scenario_flags({"--churn", ""}, opt, ""));
+}
+
+TEST(Flags, ParsesFailAtAndAutoscale) {
+  ScenarioOptions opt;
+  EXPECT_EQ(opt.fail_at, -1);  // unset = no injected failure
+  EXPECT_FALSE(opt.autoscale);
+  ASSERT_TRUE(parse_scenario_flags({"--fail-at", "5", "--autoscale"}, opt, ""));
+  EXPECT_EQ(opt.fail_at, 5);
+  EXPECT_TRUE(opt.autoscale);
+  ASSERT_TRUE(parse_scenario_flags({"--fail-at", "0"}, opt, ""));
+  EXPECT_EQ(opt.fail_at, 0);
+  EXPECT_FALSE(parse_scenario_flags({"--fail-at"}, opt, ""));
+  EXPECT_FALSE(parse_scenario_flags({"--fail-at", "-1"}, opt, ""));
+  EXPECT_FALSE(parse_scenario_flags({"--fail-at", "soon"}, opt, ""));
+  EXPECT_FALSE(parse_scenario_flags({"--fail-at", ""}, opt, ""));
+}
+
+// Regression: the --churn diagnostic used to repeat the raw argv token;
+// it must quote the token exactly once and name the accepted range.
+TEST(Flags, BadChurnDiagnosticQuotesTokenOnceWithRange) {
+  ScenarioOptions opt;
+  ::testing::internal::CaptureStderr();
+  EXPECT_FALSE(parse_scenario_flags({"--churn", "2.5x"}, opt, ""));
+  std::string err = ::testing::internal::GetCapturedStderr();
+  size_t occurrences = 0;
+  for (size_t pos = 0; (pos = err.find("2.5x", pos)) != std::string::npos; ++pos)
+    ++occurrences;
+  EXPECT_EQ(occurrences, 1u) << err;
+  EXPECT_NE(err.find("0..1"), std::string::npos) << err;
 }
 
 TEST(Flags, BadNodesValueRejected) {

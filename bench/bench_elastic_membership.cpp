@@ -68,6 +68,8 @@ struct ElasticResult {
   int redispatched = 0;
   int workers_lost = 0;
   int auto_joins = 0;
+  int checkpoints = 0;
+  int speculated = 0;
   double mean_completion_ms = 0;
   double total_ms = 0;
   bool ok = false;
@@ -88,7 +90,10 @@ ElasticResult run_policy(cluster::PolicyKind kind, const ChurnSchedule& sched, i
   int device_id = c.add_worker({"wifi-device", dev, sim::Link::wifi_kbps(2000)});
 
   auto policy = cluster::make_policy(kind);
-  cluster::Scheduler sched_loop(c, *policy);
+  cluster::DispatchOptions dopt;
+  dopt.checkpoint_every = static_cast<uint64_t>(std::max<int64_t>(opt.checkpoint_every, 0));
+  dopt.speculate = opt.speculate;
+  cluster::Scheduler sched_loop(c, *policy, dopt);
   if (opt.fail_at >= 0) sched_loop.fail_after(opt.fail_at);
   if (opt.autoscale) {
     std::vector<cluster::WorkerSpec> standby{{"standby1", {}, sim::Link::gigabit()},
@@ -141,6 +146,8 @@ ElasticResult run_policy(cluster::PolicyKind kind, const ChurnSchedule& sched, i
            c.home().vm().thread(tid).result.as_i64() == spec.bench_expected;
   res.exactly_once = sched_loop.exactly_once();
   res.workers_lost = sched_loop.workers_lost();
+  res.checkpoints = sched_loop.checkpoints();
+  res.speculated = sched_loop.speculations();
   if (sched_loop.autoscaler()) res.auto_joins = sched_loop.autoscaler()->joins();
   if (res.segments > 0) res.mean_completion_ms = completion_sum_ms / res.segments;
   res.total_ms = c.home().node().clock.now().ms();
@@ -195,9 +202,11 @@ int run(const cli::ScenarioOptions& opt) {
       all_ok = false;
     }
     std::printf("%s trace: %d segment(s), %d re-dispatch(es), %d worker(s) lost, "
-                "%d autoscale join(s) — exactly-once %s\n",
+                "%d autoscale join(s), %d checkpoint(s), %d speculation(s) — "
+                "exactly-once %s\n",
                 cluster::policy_name(kind), r.segments, r.redispatched, r.workers_lost,
-                r.auto_joins, r.exactly_once ? "OK" : "VIOLATED");
+                r.auto_joins, r.checkpoints, r.speculated,
+                r.exactly_once ? "OK" : "VIOLATED");
     t.row({cluster::policy_name(kind), std::to_string(r.segments),
            std::to_string(r.device_segments), std::to_string(r.joins),
            std::to_string(r.leaves), fmt("%.3f", r.mean_completion_ms),

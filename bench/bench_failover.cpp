@@ -15,6 +15,7 @@
 // standby pool must not cost throughput: the bench fails unless the
 // fail_autoscale mean completion time is <= the fixed-membership mean,
 // and unless every mode's trace shows each segment executed exactly once.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -55,7 +56,7 @@ struct ModeResult {
   bool exactly_once = true;
 };
 
-ModeResult run_mode(Mode mode, int rounds, int fail_at) {
+ModeResult run_mode(Mode mode, int rounds, int fail_at, const cli::ScenarioOptions& opt) {
   const apps::AppSpec spec = apps::fib_app();
   bc::Program p = spec.build();
   prep::preprocess_program(p);
@@ -68,7 +69,10 @@ ModeResult run_mode(Mode mode, int rounds, int fail_at) {
   int device_id = c.add_worker({"wifi-device", dev, sim::Link::wifi_kbps(2000)});
 
   auto policy = cluster::make_policy(cluster::PolicyKind::LeastLoaded);
-  cluster::Scheduler sched(c, *policy);
+  cluster::DispatchOptions dopt;
+  dopt.checkpoint_every = static_cast<uint64_t>(std::max<int64_t>(opt.checkpoint_every, 0));
+  dopt.speculate = opt.speculate;
+  cluster::Scheduler sched(c, *policy, dopt);
   if (mode != Mode::Fixed) sched.fail_after(fail_at, device_id);
   if (mode == Mode::FailAutoscale)
     sched.set_autoscaler(std::make_unique<cluster::Autoscaler>(
@@ -114,7 +118,7 @@ int run(const cli::ScenarioOptions& opt) {
   double fixed_mean = -1;
   double autoscale_mean = -1;
   for (Mode mode : {Mode::Fixed, Mode::FailRedispatch, Mode::FailAutoscale}) {
-    ModeResult r = run_mode(mode, rounds, fail_at);
+    ModeResult r = run_mode(mode, rounds, fail_at, opt);
     all_ok = all_ok && r.ok;
     if (!r.exactly_once) {
       std::fprintf(stderr, "failover: %s trace violates exactly-once execution\n",

@@ -150,6 +150,14 @@ bool parse_scenario_flags(const std::vector<std::string>& args, ScenarioOptions&
         return false;
     } else if (a == "--autoscale") {
       opt.autoscale = true;
+    } else if (a == "--checkpoint-every") {
+      int every = 0;
+      if (!parse_int_flag(args, i, "--checkpoint-every", 1, 1000000000,
+                          "an instruction count in 1..1000000000", every))
+        return false;
+      opt.checkpoint_every = every;
+    } else if (a == "--speculate") {
+      opt.speculate = true;
     } else if (a == "--policy") {
       if (i + 1 >= args.size()) {
         std::fprintf(stderr, "sodctl: --policy requires a value\n");
@@ -188,6 +196,12 @@ bool parse_scenario_flags(const std::vector<std::string>& args, ScenarioOptions&
     } else {
       opt.extra.push_back(a);
     }
+  }
+  if (opt.speculate && opt.checkpoint_every == 0) {
+    std::fprintf(stderr,
+                 "sodctl: --speculate requires --checkpoint-every N (backups launch from "
+                 "the newest checkpoint)\n");
+    return false;
   }
   return true;
 }

@@ -42,6 +42,15 @@ struct ScenarioOptions {
   /// standby workers join above the high-water queue depth and drain
   /// below the low-water mark.
   bool autoscale = false;
+  /// Guest instructions between checkpoints of an executing segment for
+  /// scenarios driving the cluster Scheduler (0 = checkpointing off).  A
+  /// checkpointed segment resumes partial work after a worker loss
+  /// instead of re-executing from its original capture.
+  int64_t checkpoint_every = 0;
+  /// Launch speculative backup attempts for straggling segments from the
+  /// newest checkpoint — first completion wins, the loser is cancelled.
+  /// Requires --checkpoint-every.
+  bool speculate = false;
   /// When non-empty, bench scenarios write their result table here as
   /// schema-stable JSON (see Table::json).
   std::string json_path;
@@ -99,7 +108,8 @@ bool maybe_write_json(const ScenarioOptions& opt, const std::string& bench_name,
 
 /// Shared flag parsing for sodctl and the standalone scenario binaries.
 /// Understands --smoke, --nodes N, --policy P, --churn X, --fail-at N,
-/// --autoscale, --json [path] and collects the rest into opt.extra.
+/// --autoscale, --checkpoint-every N, --speculate, --json [path] and
+/// collects the rest into opt.extra.
 /// Returns false on malformed flags (one diagnostic per error on stderr,
 /// quoting the offending token once with the accepted range).
 /// `default_json_name` fills json_path when --json is given without a

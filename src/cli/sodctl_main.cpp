@@ -43,6 +43,12 @@ int usage(std::FILE* to) {
                "  --fail-at N               fail a worker after N segment completions\n"
                "                            (the scheduler re-dispatches its segments)\n"
                "  --autoscale               join/drain standby workers from queue depth\n"
+               "  --checkpoint-every N      checkpoint executing segments every N guest\n"
+               "                            instructions (failures resume from the newest\n"
+               "                            checkpoint instead of restarting)\n"
+               "  --speculate               race straggler segments against a backup copy\n"
+               "                            from the newest checkpoint (first completion\n"
+               "                            wins); requires --checkpoint-every\n"
                "  --json [path]             write the result table as JSON\n");
   return to == stdout ? 0 : 2;
 }

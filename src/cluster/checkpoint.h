@@ -1,0 +1,99 @@
+// Checkpoint & speculation support — the recovery half of the cluster
+// scheduler.
+//
+// A CheckpointStore lives on the home node: workers periodically
+// re-capture a running segment's state at migration-safe points
+// (mig::checkpoint_segment) and ship it home; the store keeps the newest
+// checkpoint per (round, segment) so a failure re-dispatch *resumes*
+// partial work instead of re-executing from the original capture, and a
+// speculative backup attempt starts from the same state on another
+// worker.  Boxer (arXiv:2407.00832) argues elasticity pays off only when
+// recovery latency is small — resuming is what makes it small.
+//
+// An AttemptTracker detects stragglers: it learns a per-class EWMA of
+// reference-CPU execution spans from completed attempts (mirroring the
+// learned placement policy, but scheduler-owned so speculation works
+// under every policy) and flags an attempt whose age exceeds
+// straggler_factor x the learned span — the heterogeneous-fleet signal of
+// Huang et al. (arXiv:2403.00585), where slow workers dominate completion
+// time unless their work is re-dispatched speculatively.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "sod/migrate.h"
+
+namespace sod::cluster {
+
+/// Home-side store of the newest checkpoint per (round, segment).
+class CheckpointStore {
+ public:
+  struct Entry {
+    mig::SegmentCheckpoint ckpt;
+    int attempt = 0;   ///< attempt id that produced the checkpoint
+    int seq = 0;       ///< per-segment checkpoint counter (1-based)
+    VDur taken_at{};   ///< home clock when the checkpoint landed
+  };
+
+  /// Records `ckpt` as the newest checkpoint of (round, segment),
+  /// replacing any older one.
+  void record(int round, int segment, mig::SegmentCheckpoint ckpt, int attempt, VDur taken_at);
+
+  /// Newest checkpoint of (round, segment); nullptr when none was taken.
+  const Entry* latest(int round, int segment) const;
+
+  /// Drops (round, segment)'s checkpoint — called once the segment's
+  /// write-back landed, so the store stays bounded by the in-flight set.
+  void drop(int round, int segment);
+
+  /// Checkpoints recorded over the store's lifetime.
+  int total_recorded() const { return total_recorded_; }
+  /// Wire bytes shipped home for checkpoints (state + heap deltas).
+  size_t total_bytes() const { return total_bytes_; }
+  /// Entries currently held.
+  int live() const { return static_cast<int>(latest_.size()); }
+
+ private:
+  std::map<std::pair<int, int>, Entry> latest_;
+  int total_recorded_ = 0;
+  size_t total_bytes_ = 0;
+};
+
+/// Scheduler-owned straggler detector: per-class EWMA of reference-CPU
+/// execution spans, trained from clean (non-resumed, non-speculative)
+/// attempt completions.
+class AttemptTracker {
+ public:
+  struct Config {
+    /// An attempt is a straggler once its age exceeds this multiple of
+    /// the learned reference-CPU span for its class.
+    double straggler_factor = 1.75;
+    double alpha = 0.4;  ///< EWMA smoothing weight for new observations
+  };
+
+  AttemptTracker();
+  explicit AttemptTracker(Config cfg) : cfg_(cfg) {}
+
+  /// Trains the per-class EWMA with an observed execution span already
+  /// normalized to the reference CPU (span / cpu_scale).
+  void observe(uint16_t cls, VDur ref_span);
+
+  /// Learned reference-CPU span for `cls`; VDur{} before the first
+  /// observation.
+  VDur expected_span(uint16_t cls) const;
+
+  /// Whether an attempt of `cls` that has been executing for `age` is a
+  /// straggler.  Never true before the first observation of the class —
+  /// with nothing learned there is no baseline to be slow against.
+  bool straggler(uint16_t cls, VDur age) const;
+
+  double straggler_factor() const { return cfg_.straggler_factor; }
+
+ private:
+  Config cfg_;
+  std::unordered_map<uint16_t, double> ewma_ns_;
+};
+
+}  // namespace sod::cluster

@@ -127,6 +127,24 @@ class Learned final : public PlacementPolicy {
 
 }  // namespace
 
+int choose_backup(const PlacementPolicy& policy, const Cluster& c, const PlacementRequest& req,
+                  int exclude) {
+  int best = -1;
+  std::tuple<VDur, int, VDur> best_key{};
+  for (int w = 0; w < c.size(); ++w) {
+    if (w == exclude || !c.accepting(w)) continue;
+    bool holds = c.holds_class(w, req.cls);
+    size_t bytes = req.state_bytes + (holds ? 0 : req.class_image_bytes);
+    std::tuple key(arrival_estimate(c, w, bytes) + policy.estimate(c, w, req), c.inflight(w),
+                   c.load(w));
+    if (best < 0 || key < best_key) {
+      best = w;
+      best_key = key;
+    }
+  }
+  return best;
+}
+
 void PlacementPolicy::observe(const Cluster&, const Event&) {}
 
 VDur PlacementPolicy::estimate(const Cluster& c, int w, const PlacementRequest& req) const {

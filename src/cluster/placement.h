@@ -71,6 +71,15 @@ class PlacementPolicy {
   std::unordered_map<uint16_t, double> ewma_ns_;
 };
 
+/// Deterministic placement of a speculative backup attempt: the accepting
+/// worker other than `exclude` (the straggler's host) with the earliest
+/// predicted completion — arrival estimate plus the policy's learned
+/// per-class execution estimate, so a 25x-slower device prices itself out
+/// of hosting its own backup.  Returns -1 when no other accepting worker
+/// exists (speculation is then skipped).
+int choose_backup(const PlacementPolicy& policy, const Cluster& c, const PlacementRequest& req,
+                  int exclude);
+
 std::unique_ptr<PlacementPolicy> make_policy(PolicyKind kind);
 const char* policy_name(PolicyKind kind);
 

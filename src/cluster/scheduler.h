@@ -25,6 +25,17 @@
 //    ref, the downstream worker receives a 16-byte handle materialized as
 //    a heap stub, and the object body is fetched lazily on first touch
 //    (no synchronous home round-trip of the payload).
+//  - checkpointing: with checkpoint_every > 0 an executing segment
+//    periodically pauses at a migration-safe point, flushes its heap
+//    delta home, and records a resumable state in the home-side
+//    CheckpointStore; a later worker loss re-dispatches from the newest
+//    checkpoint instead of the original capture, so completed partial
+//    work survives.
+//  - speculation: an AttemptTracker learns per-class execution spans and
+//    flags straggling attempts; a backup attempt is launched from the
+//    newest checkpoint on another worker and raced in virtual time —
+//    first completion wins, the loser is cancelled at its next
+//    chunk boundary and its write-back is suppressed.
 //
 // dispatch_segments() remains as a thin wrapper: it builds a one-round
 // Scheduler and runs the event stream.
@@ -35,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/checkpoint.h"
 #include "cluster/cluster.h"
 
 namespace sod::cluster {
@@ -44,20 +56,26 @@ struct PlacementRequest;
 
 /// What happened at one instant of the scheduler's virtual-time loop.
 enum class EventKind {
-  SegmentDispatched,  ///< segment placed, shipped, and restored on a worker
-  SegmentCompleted,   ///< segment executed; its updates are home
-  SegmentFailed,      ///< assignment died with its worker; re-dispatching
-  WorkerJoined,       ///< autoscaler promoted a standby worker
-  WorkerDraining,     ///< autoscaler started draining a joiner
-  WorkerLost,         ///< worker failed; its queue was dropped
-  AutoscaleTick,      ///< queue-depth evaluation point
+  SegmentDispatched,      ///< segment placed, shipped, and restored on a worker
+  SegmentCompleted,       ///< segment executed; its updates are home
+  SegmentFailed,          ///< attempt died with its worker; re-dispatching
+  WorkerJoined,           ///< autoscaler promoted a standby worker
+  WorkerDraining,         ///< autoscaler started draining a joiner
+  WorkerLost,             ///< worker failed; its queue was dropped
+  AutoscaleTick,          ///< queue-depth evaluation point
+  CheckpointTaken,        ///< in-flight segment state landed in the home store
+  SpeculativeDispatched,  ///< straggler backup attempt launched from a checkpoint
+  AttemptCancelled,       ///< losing attempt of a speculative race stopped
 };
 
 const char* event_name(EventKind k);
 
 /// One entry of the scheduler's totally ordered event log.  `seq` breaks
 /// virtual-time ties deterministically; `round` counts Scheduler::run
-/// calls over the scheduler's lifetime.
+/// calls over the scheduler's lifetime.  `attempt` identifies which
+/// dispatch of the segment the event belongs to (1-based; speculative
+/// backups get their own id), so the attempt-aware exactly-once check can
+/// pair cancellations with the attempts they killed.
 struct Event {
   EventKind kind{};
   VDur at{};
@@ -65,6 +83,7 @@ struct Event {
   int round = -1;
   int segment = -1;  ///< dispatch-local segment index (segment events)
   int worker = -1;   ///< worker id (segment + membership events)
+  int attempt = 0;   ///< attempt id (segment + checkpoint events)
 };
 
 struct DispatchOptions {
@@ -72,6 +91,24 @@ struct DispatchOptions {
   /// latency-hiding path).  When false, segment i+1 leaves home only after
   /// segment i completed remotely — the sequential baseline.
   bool concurrent = true;
+  /// Guest instructions between checkpoints of an executing segment
+  /// (0 = checkpointing off).  Each checkpoint pauses the worker at a
+  /// migration-safe point, flushes its heap delta home, and records the
+  /// resumable state in the home-side CheckpointStore.
+  uint64_t checkpoint_every = 0;
+  /// Launch a speculative backup attempt from the newest checkpoint when
+  /// the running attempt's age exceeds the AttemptTracker's learned span
+  /// threshold; the first completion wins and the loser is cancelled.
+  /// Requires checkpoint_every > 0.
+  bool speculate = false;
+  /// Attempt age vs learned per-class EWMA span multiple that flags a
+  /// straggler (AttemptTracker::Config::straggler_factor).
+  double straggler_factor = 1.75;
+  /// On worker loss, re-dispatch the executing attempt from its newest
+  /// checkpoint (resume) instead of the original capture (restart).  Only
+  /// meaningful with checkpoint_every > 0; exposed so benches can ablate
+  /// resume against restart-from-capture under one checkpoint cadence.
+  bool resume_from_checkpoint = true;
 };
 
 struct Placement {
@@ -104,6 +141,14 @@ struct DispatchOutcome {
   /// Ref-typed results forwarded worker -> worker via home-mediated
   /// handles (the cross-worker ref chain).
   int ref_forwards = 0;
+  /// Checkpoints shipped home this round.
+  int checkpoints = 0;
+  /// Re-dispatches that resumed from a checkpoint instead of the capture.
+  int resumed = 0;
+  /// Speculative backup attempts launched.
+  int speculated = 0;
+  /// Losing attempts cancelled (their write-backs suppressed).
+  int cancelled = 0;
 };
 
 /// Splits the top `k` home frames into k single-frame segments, top first.
@@ -174,6 +219,13 @@ class Scheduler {
   /// accepting worker with the deepest queue at the firing instant (ties
   /// to the lowest id) — the most disruptive deterministic choice.
   void fail_after(int completions, int worker = -1);
+  /// Schedules a worker loss once `checkpoints` CheckpointTaken events
+  /// have fired over the scheduler's lifetime (requires
+  /// checkpoint_every > 0 to ever fire).  `worker` < 0 targets the worker
+  /// that took the triggering checkpoint — killing the in-flight attempt
+  /// mid-execution, the case that distinguishes resume-from-checkpoint
+  /// from restart-from-capture.
+  void fail_after_checkpoints(int checkpoints, int worker = -1);
   /// Fails a worker immediately: drops its queue and, mid-run,
   /// re-dispatches its outstanding segments to surviving workers.
   void fail_worker(int worker);
@@ -192,16 +244,26 @@ class Scheduler {
 
   /// Totally ordered event log across all rounds so far.
   const std::vector<Event>& log() const { return log_; }
-  /// The exactly-once execution invariant, checked against the log: every
-  /// (round, segment) that was ever dispatched has exactly one
-  /// SegmentCompleted — re-dispatched segments complete once on their
-  /// survivor, never zero times and never twice.
+  /// The attempt-aware exactly-once invariant, checked against the log:
+  /// every (round, segment) that was ever dispatched has exactly one
+  /// SegmentCompleted — speculative duplicate *dispatches* are legal, but
+  /// only one attempt per segment may complete (and write back), the
+  /// completing attempt must itself have been dispatched, and no attempt
+  /// that was cancelled or failed ever completes.
   bool exactly_once() const;
   /// Rounds run so far (the `round` stamped on events).
   int rounds() const { return round_ + 1; }
   int completions() const { return completed_total_; }
   int workers_lost() const { return lost_total_; }
   int redispatches() const { return redispatched_total_; }
+  int checkpoints() const { return store_.total_recorded(); }
+  int resumes() const { return resumed_total_; }
+  int speculations() const { return speculated_total_; }
+  int cancellations() const { return cancelled_total_; }
+  /// Home-side checkpoint store (newest resumable state per segment).
+  const CheckpointStore& store() const { return store_; }
+  /// Straggler detector driving speculative re-dispatch.
+  const AttemptTracker& tracker() const { return tracker_; }
 
   /// One home-mediated ref forward: segment `segment`'s result, produced
   /// on `src_worker`, delivered to `dst_worker` as a handle for home ref
@@ -217,19 +279,39 @@ class Scheduler {
 
  private:
   struct Task;
+  struct Race;
   struct FailurePlan {
-    int at_completions;
+    enum class Trigger { Completions, Checkpoints };
+    Trigger trigger;
+    int at_count;
     int worker;
     bool fired = false;
   };
 
-  void emit(EventKind kind, VDur at, int segment, int worker);
+  /// A fresh attempt restored from a checkpoint, ready to run (shared by
+  /// failure resume and speculative backup launch).
+  struct CheckpointRestore {
+    std::unique_ptr<mig::Segment> seg;
+    Placement pl{};
+    VDur est{};
+  };
+
+  void emit(EventKind kind, VDur at, int segment, int worker, int attempt = 0);
   void dispatch(size_t i);
+  void prepare(size_t i);
   void execute(size_t i);
+  void run_attempts(size_t i);
+  bool take_checkpoint(size_t i);
+  CheckpointRestore restore_from_checkpoint(size_t i, int w, const CheckpointStore::Entry& ck);
+  void resume_dispatch(size_t i, const CheckpointStore::Entry& ck);
+  bool launch_backup(size_t i);
+  void cancel_attempt(size_t i, int loser_worker, int loser_attempt, VDur loser_est,
+                      int winner_worker, VDur winner_completed);
   void write_back(size_t i);
   void do_fail(int worker);
   int pick_failure_target() const;
   void process_failure_plans();
+  void process_checkpoint_plans(int ckpt_worker);
   void autoscale_tick(bool placement_phase);
 
   Cluster* c_;
@@ -239,16 +321,22 @@ class Scheduler {
   std::vector<FailurePlan> plans_;
   std::vector<Event> log_;
   std::vector<RefForward> forwards_;
+  CheckpointStore store_;
+  AttemptTracker tracker_;
   int seq_ = 0;
   int round_ = -1;
   int completed_total_ = 0;
   int lost_total_ = 0;
   int redispatched_total_ = 0;
+  int resumed_total_ = 0;
+  int speculated_total_ = 0;
+  int cancelled_total_ = 0;
 
   // Live only inside run(); do_fail consults them for mid-run re-dispatch.
   int home_tid_ = -1;
   std::vector<Task> tasks_;
   DispatchOutcome* out_ = nullptr;
+  Race* race_ = nullptr;  ///< in-flight attempt race of the executing task
 };
 
 /// Thin wrapper for one-shot dispatch: builds a single-round Scheduler

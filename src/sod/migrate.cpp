@@ -92,6 +92,9 @@ void Segment::install_cs_natives() {
     SOD_CHECK(cur->frame, "cs read outside restoration");
     const Value& v = cur->frame->locals[static_cast<size_t>(a[0].i)];
     if (v.tag != bc::Ty::Ref || v.r == bc::kNull) return Value::null();
+    // Checkpoint states carry real home ids: the stub resolves directly
+    // against the home heap, no suspended-frame lookup needed.
+    if (cur->home_refs) return Value::of_ref(vm.heap().alloc_stub(v.r));
     // Non-null at the home: materialize as a stub resolvable through the
     // suspended home frame (GetLocal).
     Ref stub = vm.heap().alloc_stub(0);
@@ -114,6 +117,7 @@ void Segment::restore(const CapturedState& cs) {
 
   ti.set_debug_enabled(true);
   debug_held_ = true;
+  cursor_.home_refs = cs.home_refs;
 
   // Restore class static data (SetStatic<Type>Field in the paper); class
   // loads may fetch class images on demand.
@@ -122,7 +126,13 @@ void Segment::restore(const CapturedState& cs) {
     std::vector<Value> vals = st.values;
     for (size_t slot = 0; slot < vals.size(); ++slot) {
       Value& v = vals[slot];
-      if (v.tag != bc::Ty::Ref || v.r != kRemoteMark) continue;
+      if (v.tag != bc::Ty::Ref || v.r == bc::kNull) continue;
+      if (cs.home_refs) {
+        // Checkpoint statics hold real home ids; the stub carries the id.
+        v = Value::of_ref(vm.heap().alloc_stub(v.r));
+        continue;
+      }
+      if (v.r != kRemoteMark) continue;
       Ref stub = vm.heap().alloc_stub(0);
       v = Value::of_ref(stub);
       // Register the stub's identity so copies of it (e.g. a static array
@@ -223,6 +233,38 @@ Value Segment::run_to_completion() {
   return dest_->vm().thread(tid_).result;
 }
 
+svm::StopReason Segment::run_chunk(uint64_t budget) {
+  SOD_CHECK(budget >= 1, "zero-budget chunk");
+  // Another segment restored on this node between chunks (a mid-execution
+  // re-dispatch landing here) leaves the debug interpreter on; chunked
+  // execution always runs fast mode between pauses, same as
+  // run_to_completion after prepare().
+  dest_->ti().set_debug_enabled(false);
+  debug_held_ = false;
+  svm::RunResult rr = dest_->run_guest(tid_, budget);
+  if (rr.reason == StopReason::Budget) {
+    // The budget expired mid-statement; coast under the debug interpreter
+    // to the next statement start so the pause is a migration-safe point.
+    dest_->ti().set_debug_enabled(true);
+    dest_->vm().request_safepoint(true);
+    rr = dest_->run_guest(tid_);
+    dest_->vm().request_safepoint(false);
+    dest_->ti().set_debug_enabled(false);
+    dest_->sync_ti_cost();
+  }
+  if (rr.reason == StopReason::Crashed) {
+    const auto& th = dest_->vm().thread(tid_);
+    SOD_UNREACHABLE("migrated segment crashed: " +
+                    dest_->program().cls(dest_->vm().class_of(th.uncaught)).name + ": " +
+                    dest_->vm().exception_message(th.uncaught));
+  }
+  SOD_CHECK(rr.reason == StopReason::Done || rr.reason == StopReason::SafePoint,
+            "segment chunk stopped unexpectedly");
+  return rr.reason;
+}
+
+Value Segment::result() const { return dest_->vm().thread(tid_).result; }
+
 // ---------------------------------------------------------------- write-back
 
 namespace {
@@ -230,9 +272,65 @@ namespace {
 // Wire constants for the write-back message.
 enum : uint8_t { kWbUpdate = 1, kWbCreate = 2, kWbEnd = 0 };
 
+uint64_t fnv1a(std::span<const uint8_t> bytes) {
+  uint64_t h = 1469598103934665603ull;
+  for (uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Home-side twin of WriteBackBuilder::write_cell: encodes a home cell
+/// with its refs written raw (they already are home ids), so a worker
+/// cell whose translated encoding matches byte-for-byte is one home
+/// already holds — the first-checkpoint "fetched but never mutated" skip.
+void write_home_cell(const svm::Heap& heap, Ref r, ByteWriter& w) {
+  const svm::Cell& c = heap.cell(r);
+  if (const auto* o = std::get_if<svm::ObjCell>(&c)) {
+    w.u8(1);
+    w.u16(o->cls);
+    w.u16(static_cast<uint16_t>(o->fields.size()));
+    for (const Value& v : o->fields) {
+      w.u8(static_cast<uint8_t>(v.tag));
+      switch (v.tag) {
+        case bc::Ty::I64: w.i64(v.i); break;
+        case bc::Ty::F64: w.f64(v.d); break;
+        case bc::Ty::Ref: w.u32(v.r); break;
+        case bc::Ty::Void: SOD_UNREACHABLE("void field");
+      }
+    }
+  } else if (const auto* ai = std::get_if<svm::ArrICell>(&c)) {
+    w.u8(2);
+    w.u32(static_cast<uint32_t>(ai->v.size()));
+    for (int64_t x : ai->v) w.i64(x);
+  } else if (const auto* ad = std::get_if<svm::ArrDCell>(&c)) {
+    w.u8(3);
+    w.u32(static_cast<uint32_t>(ad->v.size()));
+    for (double x : ad->v) w.f64(x);
+  } else if (const auto* ar = std::get_if<svm::ArrRCell>(&c)) {
+    w.u8(4);
+    w.u32(static_cast<uint32_t>(ar->v.size()));
+    for (Ref x : ar->v) w.u32(x);
+  } else if (const auto* s = std::get_if<svm::StrCell>(&c)) {
+    w.u8(5);
+    w.str(s->s);
+  } else {
+    SOD_UNREACHABLE("home cell comparison of an empty cell");
+  }
+}
+
 class WriteBackBuilder {
  public:
-  WriteBackBuilder(Segment& seg) : seg_(seg), heap_(seg.dest().vm().heap()) {}
+  /// With `deltas` set the builder is in checkpoint mode: an update whose
+  /// payload digest is unchanged since the last checkpoint is skipped (its
+  /// would-be wire bytes accumulate in skipped_bytes()), and digests are
+  /// refreshed for everything that ships.  `home_heap` (checkpoint mode)
+  /// additionally lets the first checkpoint skip objects whose payload
+  /// still equals home's copy — fetched but never mutated.
+  explicit WriteBackBuilder(Segment& seg, CheckpointDeltas* deltas = nullptr,
+                            const svm::Heap* home_heap = nullptr)
+      : seg_(seg), heap_(seg.dest().vm().heap()), deltas_(deltas), home_heap_(home_heap) {}
 
   // Translate a worker-local ref into (home_ref or fresh temp id).
   uint32_t translate(Ref local) {
@@ -256,20 +354,47 @@ class WriteBackBuilder {
 
   void build(ByteWriter& w, Value result) {
     // Updated objects: everything fetched from home, current field values.
+    // In checkpoint mode, an object whose translated payload is unchanged
+    // since the last checkpoint is skipped — home already holds exactly
+    // those bytes — and only the delta is charged to the wire.
     for (const auto& [home_ref, local_ref] : seg_.objman().home_map()) {
+      if (deltas_ == nullptr) {
+        // Plain write-back: everything ships, straight into the message.
+        w.u8(kWbUpdate);
+        w.u32(home_ref);
+        write_cell(w, local_ref);
+        ++updated_;
+        continue;
+      }
+      // Checkpoint mode: stage the cell so its digest decides whether it
+      // travels at all.
+      ByteWriter cell;
+      write_cell(cell, local_ref);
+      uint64_t h = fnv1a(cell.bytes());
+      auto [it, fresh] = deltas_->digest.try_emplace(home_ref, h);
+      if (fresh && home_heap_ != nullptr) {
+        // First sight of this object since the attempt started: if the
+        // translated payload still equals home's cell byte-for-byte, the
+        // object was fetched and never mutated — home already holds it.
+        ByteWriter hcell;
+        write_home_cell(*home_heap_, home_ref, hcell);
+        if (hcell.bytes() == cell.bytes()) {
+          skipped_bytes_ += cell.size() + 5;  // record header: tag + u32
+          continue;
+        }
+      }
+      if (!fresh && it->second == h) {
+        skipped_bytes_ += cell.size() + 5;  // record header: tag + u32
+        continue;
+      }
+      it->second = h;
       w.u8(kWbUpdate);
       w.u32(home_ref);
-      write_cell(w, local_ref);
+      w.raw(cell.bytes());
       ++updated_;
     }
     // Newly created objects reachable from updates/result.
-    while (!queue_.empty()) {
-      Ref local = queue_.front();
-      queue_.pop_front();
-      w.u8(kWbCreate);
-      w.u32(created_.at(local));
-      write_cell(w, local);
-    }
+    flush_creations(w);
     w.u8(kWbEnd);
     // Updated statics of classes loaded at the worker (primitive values
     // travel by value; ref values translate like any other reference).
@@ -304,22 +429,43 @@ class WriteBackBuilder {
     }
     // Translating the result may have queued new objects; flush them in a
     // trailer section.
-    while (!queue_.empty()) {
-      Ref local = queue_.front();
-      queue_.pop_front();
-      w.u8(kWbCreate);
-      w.u32(created_.at(local));
-      write_cell(w, local);
-    }
+    flush_creations(w);
     w.u8(kWbEnd);
   }
 
   int updated() const { return updated_; }
   int created() const { return static_cast<int>(created_.size()); }
+  size_t skipped_bytes() const { return skipped_bytes_; }
+  /// local ref -> temp wire id of every creation that shipped.
+  const std::unordered_map<Ref, uint32_t>& created_map() const { return created_; }
+  /// temp wire id -> payload digest of every creation (checkpoint mode
+  /// records these so the caller can seed the delta tracker once the real
+  /// home ids are known).
+  const std::unordered_map<uint32_t, uint64_t>& created_digests() const {
+    return created_digests_;
+  }
 
   static constexpr uint32_t kTempBase = 0x80000000u;
 
  private:
+  void flush_creations(ByteWriter& w) {
+    while (!queue_.empty()) {
+      Ref local = queue_.front();
+      queue_.pop_front();
+      w.u8(kWbCreate);
+      w.u32(created_.at(local));
+      if (deltas_ == nullptr) {
+        write_cell(w, local);
+        continue;
+      }
+      // Checkpoint mode: record the payload digest so the next checkpoint
+      // can skip the object (it becomes an update once its home id lands).
+      ByteWriter cell;
+      write_cell(cell, local);
+      created_digests_[created_.at(local)] = fnv1a(cell.bytes());
+      w.raw(cell.bytes());
+    }
+  }
   void write_cell(ByteWriter& w, Ref local) {
     const svm::Cell& c = heap_.cell(local);
     if (const auto* o = std::get_if<svm::ObjCell>(&c)) {
@@ -357,9 +503,13 @@ class WriteBackBuilder {
 
   Segment& seg_;
   svm::Heap& heap_;
+  CheckpointDeltas* deltas_;
+  const svm::Heap* home_heap_;
   std::unordered_map<Ref, uint32_t> created_;
+  std::unordered_map<uint32_t, uint64_t> created_digests_;
   std::deque<Ref> queue_;
   int updated_ = 0;
+  size_t skipped_bytes_ = 0;
 };
 
 class WriteBackApplier {
@@ -385,13 +535,8 @@ class WriteBackApplier {
     return result;
   }
 
- private:
-  struct Patch {
-    Ref holder;
-    uint32_t slot;
-    uint32_t wire_ref;
-  };
-
+  /// Home ref a wire id landed on (valid after apply(); checkpoint capture
+  /// uses this to remap temp ids in the captured stack to real home ids).
   Ref resolve(uint32_t wire_ref) {
     if (wire_ref == 0) return bc::kNull;
     if (wire_ref >= WriteBackBuilder::kTempBase) {
@@ -401,6 +546,13 @@ class WriteBackApplier {
     }
     return wire_ref;  // existing home ref
   }
+
+ private:
+  struct Patch {
+    Ref holder;
+    uint32_t slot;
+    uint32_t wire_ref;
+  };
 
   void read_section(ByteReader& r) {
     while (true) {
@@ -490,8 +642,12 @@ class WriteBackApplier {
       for (uint16_t i = 0; i < n; ++i) {
         bc::Ty t = static_cast<bc::Ty>(r.u8());
         switch (t) {
-          case bc::Ty::I64: static_vals_.push_back({cls, i, Value::of_i64(r.i64()), 0, false}); break;
-          case bc::Ty::F64: static_vals_.push_back({cls, i, Value::of_f64(r.f64()), 0, false}); break;
+          case bc::Ty::I64:
+            static_vals_.push_back({cls, i, Value::of_i64(r.i64()), 0, false});
+            break;
+          case bc::Ty::F64:
+            static_vals_.push_back({cls, i, Value::of_f64(r.f64()), 0, false});
+            break;
           case bc::Ty::Ref: static_vals_.push_back({cls, i, Value{}, r.u32(), true}); break;
           case bc::Ty::Void: SOD_UNREACHABLE("void static");
         }
@@ -580,6 +736,120 @@ WriteBackReport write_back(Segment& seg, SodNode& home, int home_tid, int frames
   }
   home.sync_ti_cost();
   return rep;
+}
+
+// ------------------------------------------------------------- checkpoints
+
+SegmentCheckpoint checkpoint_segment(Segment& seg, SodNode& home, sim::Link link,
+                                     CheckpointDeltas& deltas, bool apply_at_home) {
+  SodNode& dest = seg.dest();
+  auto& vm = dest.vm();
+  auto& ti = dest.ti();
+  const bc::Program& P = dest.program();
+  int tid = seg.tid();
+  int depth = ti.get_stack_depth(tid);
+  SOD_CHECK(depth >= 1, "checkpoint of a finished segment");
+
+  SegmentCheckpoint out;
+  CapturedState& cs = out.state;
+  cs.home_refs = true;
+  WriteBackBuilder builder(seg, &deltas, &home.vm().heap());
+
+  // Translate a worker-local ref into its home id (queuing locally created
+  // objects for shipment); the wire id may still be a temp, remapped after
+  // the heap flush lands at home.
+  auto wire_ref = [&](Ref local) -> Value {
+    if (local == bc::kNull) return Value::null();
+    uint32_t wire = builder.translate(local);
+    return wire == 0 ? Value::null() : Value::of_ref(wire);
+  };
+
+  // Walk the whole in-flight stack through the tool interface, exactly as
+  // capture_segment does at home: frames[0] = deepest frame.  The top
+  // frame sits at the MSP run_chunk coasted to; deeper frames resume at
+  // the statement of their pending INVOKE.
+  for (int d = depth - 1; d >= 0; --d) {
+    vmti::FrameLocation loc = ti.get_frame_location(tid, d);
+    const Method& m = P.method(loc.method);
+    CapturedFrame cf;
+    cf.method = loc.method;
+    if (d == 0) {
+      SOD_CHECK(m.is_stmt_start(loc.pc), "checkpoint not at an MSP");
+      cf.pc = loc.pc;
+    } else {
+      uint32_t invoke_pc = loc.pc - 3;  // INVOKE is op + u16
+      SOD_CHECK(static_cast<bc::Op>(m.code[invoke_pc]) == bc::Op::INVOKE,
+                "checkpointed frame not at an INVOKE");
+      cf.pc = m.stmt_at_or_before(invoke_pc);
+      cf.pending_callee = static_cast<uint16_t>(bc::decode(m.code, invoke_pc).arg);
+    }
+    const auto& vt = ti.get_local_variable_table(loc.method);
+    cf.locals.assign(m.num_locals, Value::of_i64(0));
+    for (const auto& var : vt) {
+      Value v = ti.get_local(tid, d, var.slot);
+      cf.locals[var.slot] = var.type == bc::Ty::Ref ? wire_ref(v.r) : v;
+    }
+    cs.frames.push_back(std::move(cf));
+  }
+
+  // Statics of classes loaded at the worker, refs translated the same way.
+  for (const auto& c : P.classes) {
+    if (!vm.class_loaded(c.id) || c.num_static_slots == 0) continue;
+    CapturedStatics st;
+    st.cls = c.id;
+    st.values.assign(c.num_static_slots, Value::of_i64(0));
+    for (uint16_t fid : c.field_ids) {
+      const bc::Field& f = P.field(fid);
+      if (!f.is_static) continue;
+      Value v = ti.get_static_field(fid);
+      st.values[f.slot] = f.type == bc::Ty::Ref ? wire_ref(v.r) : v;
+    }
+    cs.statics.push_back(std::move(st));
+  }
+  dest.sync_ti_cost();
+
+  // Heap flush: changed + created objects (and current statics) go home as
+  // an updates-only write-back message; unchanged objects are skipped by
+  // the delta tracker and cost nothing on the wire.
+  ByteWriter w;
+  builder.build(w, Value{});
+  out.heap_bytes = w.size();
+  out.full_heap_bytes = w.size() + builder.skipped_bytes();
+  out.objects_shipped = builder.updated() + builder.created();
+  out.state_bytes = cs.wire_size();
+
+  dest.node().charge_host(dest.serde().cost(out.state_bytes + w.size(),
+                                            out.objects_shipped + depth));
+  sim::deliver(dest.node(), home.node(), link, out.state_bytes + w.size());
+  home.node().charge_host(home.serde().cost(w.size()));
+
+  // Restart-from-capture mode records the checkpoint without absorbing
+  // its heap flush: a later restart re-executes against home's pristine
+  // state, so nothing is double-applied.  (Resume and speculation need
+  // the flush applied — they restore against home's current objects.)
+  if (!apply_at_home) return out;
+
+  ByteReader r(w.bytes());
+  WriteBackApplier applier(home);
+  applier.apply(r);
+
+  // Creations now have real home ids: remap temp wire ids in the captured
+  // state, seed the delta tracker, and adopt the (home, local) identities
+  // so the final write-back updates these objects instead of re-creating
+  // them.
+  auto remap = [&](Value& v) {
+    if (v.tag != bc::Ty::Ref || v.r < WriteBackBuilder::kTempBase) return;
+    v = Value::of_ref(applier.resolve(v.r));
+  };
+  for (auto& f : cs.frames)
+    for (auto& v : f.locals) remap(v);
+  for (auto& st : cs.statics)
+    for (auto& v : st.values) remap(v);
+  for (const auto& [local, temp] : builder.created_map())
+    seg.objman().adopt_mapping(applier.resolve(temp), local);
+  for (const auto& [temp, digest] : builder.created_digests())
+    deltas.digest[applier.resolve(temp)] = digest;
+  return out;
 }
 
 // ---------------------------------------------------------------- triggers

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <optional>
+#include <unordered_map>
 
 #include "sod/objman.h"
 
@@ -64,6 +65,17 @@ class Segment {
   /// return value.
   Value run_to_completion();
 
+  /// Chunked execution (the checkpoint/speculation driver): run at most
+  /// `budget` guest instructions in fast mode; when the budget expires,
+  /// coast under the debug interpreter to the next migration-safe point
+  /// (the paper's mixed-mode switch around migration events).  Returns
+  /// Done (finished, see result()) or SafePoint (paused at an MSP, the
+  /// thread is checkpointable via checkpoint_segment).
+  svm::StopReason run_chunk(uint64_t budget);
+
+  /// Bottom-frame return value once a run reported Done.
+  Value result() const;
+
   int tid() const { return tid_; }
   SodNode& dest() { return *dest_; }
   ObjectManager& objman() { return om_; }
@@ -71,6 +83,7 @@ class Segment {
  private:
   struct Cursor {
     const CapturedFrame* frame = nullptr;
+    bool home_refs = false;
   };
   void install_cs_natives();
 
@@ -101,6 +114,44 @@ struct WriteBackReport {
 };
 WriteBackReport write_back(Segment& seg, SodNode& home, int home_tid, int frames_to_pop,
                            Value result, sim::Link link);
+
+/// --- segment checkpointing (resumable in-flight segments) ---
+
+/// Per-attempt incremental-transfer state: the digest of each home
+/// object's payload as of the last checkpoint.  A later checkpoint ships
+/// only objects whose payload digest changed (plus anything newly
+/// created), so the virtual clock is charged for the delta, not the full
+/// fetched set.
+struct CheckpointDeltas {
+  std::unordered_map<Ref, uint64_t> digest;
+};
+
+/// One checkpoint of an in-flight segment, taken at a migration-safe
+/// point (after Segment::run_chunk returned SafePoint).  The worker's
+/// heap changes are flushed home first (an updates-only write-back with
+/// delta sizing — unchanged payloads, including objects fetched and never
+/// mutated, ship nothing), locally created objects are assigned home ids
+/// and adopted into the object manager, and the full stack + statics are
+/// captured with every reference translated to its home id
+/// (state.home_refs) — so the checkpoint restores on *any* worker.
+/// Applying a checkpoint's heap flush is idempotent against the final
+/// write-back: both ship current field values keyed by home ref.
+///
+/// With `apply_at_home == false` the checkpoint is recorded (and its
+/// capture/wire costs charged) but its heap flush is NOT absorbed into
+/// the home heap/statics: the restart-from-capture recovery mode uses
+/// this so a restarted attempt re-executes against home's pristine state
+/// instead of observing its own partial mutations (which would
+/// double-apply).  A state recorded this way is not restorable.
+struct SegmentCheckpoint {
+  CapturedState state;         ///< home_refs == true
+  size_t state_bytes = 0;      ///< wire size of the stack + statics state
+  size_t heap_bytes = 0;       ///< object payload actually shipped (the delta)
+  size_t full_heap_bytes = 0;  ///< payload a non-incremental checkpoint would ship
+  int objects_shipped = 0;     ///< updates + creations that travelled
+};
+SegmentCheckpoint checkpoint_segment(Segment& seg, SodNode& home, sim::Link link,
+                                     CheckpointDeltas& deltas, bool apply_at_home = true);
 
 /// --- migration triggers (policy helpers) ---
 

@@ -55,6 +55,15 @@ class ObjectManager {
   /// home ref -> worker ref for everything fetched so far.
   const std::unordered_map<Ref, Ref>& home_map() const { return home_map_; }
 
+  /// Record a (home, local) identity established outside a fetch: a
+  /// checkpoint that shipped a locally created object home adopts the new
+  /// home id, so later checkpoints and the final write-back treat the
+  /// object as an update of that home object instead of re-creating it.
+  void adopt_mapping(Ref home_ref, Ref local_ref) {
+    home_map_[home_ref] = local_ref;
+    local_map_[local_ref] = home_ref;
+  }
+
   /// Fetch a home object into the worker heap (public for write-back and
   /// prefetch policies).
   Ref fetch(Ref home_ref);

@@ -53,6 +53,12 @@ struct CapturedState {
   /// proceeds bottom-up exactly as in the paper's Fig. 4b.
   std::vector<CapturedFrame> frames;
   std::vector<CapturedStatics> statics;
+  /// When true the state is a *checkpoint* of an in-flight segment: ref
+  /// slots hold real home-heap ids (the checkpoint flushed its objects
+  /// home first), not kRemoteMark.  The restore path materializes them as
+  /// stubs carrying the home ref directly, so a checkpoint restores on any
+  /// worker without consulting the suspended home frame.
+  bool home_refs = false;
 
   void serialize(ByteWriter& w) const;
   static CapturedState deserialize(ByteReader& r);

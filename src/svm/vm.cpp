@@ -272,7 +272,9 @@ RunResult VM::loop(GuestThread& th, uint64_t budget) {
         case Op::IDIV: {
           int64_t b = pop().i, a = pop().i;
           if (b == 0) THROW_GUEST(bc::builtin::kArithmetic, "/ by zero");
-          push(Value::of_i64(b == -1 ? -a : a / b));
+          // INT64_MIN / -1 wraps to INT64_MIN (Java semantics); negate via
+          // unsigned so the wrap is defined instead of UB.
+          push(Value::of_i64(b == -1 ? static_cast<int64_t>(-static_cast<uint64_t>(a)) : a / b));
           break;
         }
         case Op::IREM: {
@@ -281,7 +283,9 @@ RunResult VM::loop(GuestThread& th, uint64_t budget) {
           push(Value::of_i64(b == -1 ? 0 : a % b));
           break;
         }
-        case Op::INEG: { int64_t a = pop().i; push(Value::of_i64(-a)); break; }
+        // Negate via unsigned so INT64_MIN wraps to itself (Java semantics)
+        // instead of being signed-overflow UB.
+        case Op::INEG: { int64_t a = pop().i; push(Value::of_i64(static_cast<int64_t>(-static_cast<uint64_t>(a)))); break; }
         case Op::ISHL: { int64_t b = pop().i, a = pop().i; push(Value::of_i64(a << (b & 63))); break; }
         case Op::ISHR: { int64_t b = pop().i, a = pop().i; push(Value::of_i64(a >> (b & 63))); break; }
         case Op::IAND: { int64_t b = pop().i, a = pop().i; push(Value::of_i64(a & b)); break; }

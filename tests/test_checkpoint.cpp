@@ -1,0 +1,533 @@
+// Checkpoint & speculation subsystem: in-flight segments re-capture at
+// migration-safe points with home-translated refs and incremental delta
+// sizing; the scheduler resumes a lost attempt from the newest checkpoint
+// (instead of restarting from the round-start capture), races straggler
+// attempts against a backup copy with first-completion-wins semantics,
+// suppresses the loser's write-back, and keeps the whole event log
+// deterministic and attempt-aware exactly-once.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "apps/apps.h"
+#include "cluster/checkpoint.h"
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "cluster/scheduler.h"
+#include "prep/prep.h"
+#include "sod/migrate.h"
+#include "testlib.h"
+
+namespace sod::cluster {
+namespace {
+
+using bc::ProgramBuilder;
+using bc::Ty;
+using bc::Value;
+
+/// Chunk/checkpoint cadence for tests: a handful of checkpoints per
+/// segment execution of the Fib workload.
+constexpr uint64_t kEvery = 20000;
+
+bc::Program prepped_fib() {
+  auto p = sod::testing::fib_program();
+  prep::preprocess_program(p);
+  return p;
+}
+
+// --- store and tracker units ---
+
+TEST(CheckpointStore, KeepsTheNewestEntryPerSegment) {
+  CheckpointStore s;
+  EXPECT_EQ(s.latest(0, 0), nullptr);
+  mig::SegmentCheckpoint a;
+  a.state_bytes = 100;
+  a.heap_bytes = 20;
+  s.record(0, 0, a, /*attempt=*/1, VDur::millis(1));
+  mig::SegmentCheckpoint b;
+  b.state_bytes = 120;
+  b.heap_bytes = 8;
+  s.record(0, 0, b, /*attempt=*/1, VDur::millis(2));
+  s.record(0, 1, a, /*attempt=*/1, VDur::millis(3));
+  ASSERT_NE(s.latest(0, 0), nullptr);
+  EXPECT_EQ(s.latest(0, 0)->seq, 2);
+  EXPECT_EQ(s.latest(0, 0)->ckpt.state_bytes, 120u);
+  EXPECT_EQ(s.latest(0, 0)->taken_at, VDur::millis(2));
+  EXPECT_EQ(s.total_recorded(), 3);
+  EXPECT_EQ(s.total_bytes(), 100u + 20 + 120 + 8 + 100 + 20);
+  EXPECT_EQ(s.live(), 2);
+  s.drop(0, 0);
+  EXPECT_EQ(s.latest(0, 0), nullptr);
+  EXPECT_EQ(s.live(), 1);
+  EXPECT_EQ(s.total_recorded(), 3);  // lifetime counters survive drops
+}
+
+TEST(AttemptTracker, FlagsStragglersOnlyAfterLearning) {
+  AttemptTracker t(AttemptTracker::Config{2.0, 0.5});
+  // Nothing learned: no baseline to be slow against.
+  EXPECT_FALSE(t.straggler(7, VDur::seconds(100)));
+  EXPECT_EQ(t.expected_span(7), VDur{});
+  t.observe(7, VDur::millis(10));
+  EXPECT_EQ(t.expected_span(7), VDur::millis(10));
+  EXPECT_FALSE(t.straggler(7, VDur::millis(19)));
+  EXPECT_TRUE(t.straggler(7, VDur::millis(21)));
+  // EWMA update: 0.5 * 30 + 0.5 * 10 = 20 ms.
+  t.observe(7, VDur::millis(30));
+  EXPECT_EQ(t.expected_span(7), VDur::millis(20));
+  // Other classes stay unlearned.
+  EXPECT_FALSE(t.straggler(8, VDur::seconds(100)));
+}
+
+// --- migration-level checkpoint round trip ---
+
+TEST(Checkpoint, InFlightSegmentResumesOnAnotherWorker) {
+  auto p = prepped_fib();
+  uint16_t fib = p.find_method("Main.fib");
+  mig::SodNode home("home", p, {});
+  mig::SodNode wa("wa", p, {});
+  mig::SodNode wb("wb", p, {});
+  sim::Link link = sim::Link::gigabit();
+  wa.enable_class_fetch(&home, link);
+  wb.enable_class_fetch(&home, link);
+
+  int tid = home.vm().spawn(fib, std::vector<Value>{Value::of_i64(21)});
+  ASSERT_TRUE(mig::pause_at_depth(home, tid, fib, 2));
+  mig::CapturedState cs = mig::capture_segment(home, tid, {0, 1});
+  home.ti().set_debug_enabled(false);
+  EXPECT_FALSE(cs.home_refs);
+
+  mig::Segment sa(wa);
+  sa.objman().bind_home(&home, tid, 1, link);
+  sa.restore(cs);
+
+  // Run a few chunks on worker A, then checkpoint mid-execution.
+  mig::CheckpointDeltas deltas;
+  ASSERT_EQ(sa.run_chunk(kEvery), svm::StopReason::SafePoint);
+  ASSERT_EQ(sa.run_chunk(kEvery), svm::StopReason::SafePoint);
+  auto ck = mig::checkpoint_segment(sa, home, link, deltas);
+  EXPECT_TRUE(ck.state.home_refs);
+  EXPECT_GT(ck.state_bytes, 0u);
+  EXPECT_GT(ck.state.frames.size(), 1u);  // recursion deepened past the capture
+
+  // The checkpoint's wire form round-trips, home_refs flag included.
+  {
+    ByteWriter w;
+    ck.state.serialize(w);
+    EXPECT_EQ(w.size(), ck.state_bytes);
+    ByteReader r(w.bytes());
+    mig::CapturedState back = mig::CapturedState::deserialize(r);
+    EXPECT_TRUE(back.home_refs);
+    EXPECT_EQ(back.frames.size(), ck.state.frames.size());
+  }
+
+  // Abandon worker A; restore the checkpoint on worker B and finish there.
+  mig::Segment sb(wb);
+  sb.objman().bind_home(&home, tid, 1, link);
+  sb.restore(ck.state);
+  Value result = sb.run_to_completion();
+  mig::write_back(sb, home, tid, 1, result, link);
+
+  home.ti().set_debug_enabled(false);
+  ASSERT_EQ(home.run_guest(tid).reason, svm::StopReason::Done);
+  EXPECT_EQ(home.vm().thread(tid).result.as_i64(), sod::testing::fib_ref(21));
+}
+
+/// Heap-bearing guest: `keep` is written once before the loop, `hot` is
+/// mutated every iteration — so a second checkpoint must re-ship hot but
+/// skip keep (the incremental delta).
+bc::Program two_object_program() {
+  ProgramBuilder pb;
+  auto& nd = pb.cls("Node");
+  nd.field("val", Ty::I64);
+  auto& m = pb.cls("M").method("work", {{"n", Ty::I64}}, Ty::I64);
+  uint16_t keep = m.local("keep", Ty::Ref);
+  uint16_t hot = m.local("hot", Ty::Ref);
+  uint16_t i = m.local("i", Ty::I64);
+  bc::Label loop = m.label();
+  bc::Label done = m.label();
+  m.stmt().new_("Node").astore(keep);
+  m.stmt().aload(keep).iconst(7).putfield("Node.val");
+  m.stmt().new_("Node").astore(hot);
+  m.stmt().iconst(0).istore(i);
+  m.bind(loop);
+  m.stmt().iload(i).iload("n").if_icmpge(done);
+  m.stmt().aload(hot).aload(hot).getfield("Node.val").iload(i).iadd().putfield("Node.val");
+  m.stmt().iload(i).iconst(1).iadd().istore(i);
+  m.stmt().go(loop);
+  m.bind(done);
+  m.stmt().aload(keep).getfield("Node.val").aload(hot).getfield("Node.val").iadd().iret();
+  return pb.build();
+}
+
+TEST(Checkpoint, DeltaSizingSkipsUnchangedObjects) {
+  auto p = two_object_program();
+  prep::preprocess_program(p);
+  uint16_t work = p.find_method("M.work");
+  mig::SodNode home("home", p, {});
+  mig::SodNode w("w", p, {});
+  sim::Link link = sim::Link::gigabit();
+  w.enable_class_fetch(&home, link);
+
+  int64_t n = 3000;
+  int tid = home.vm().spawn(work, std::vector<Value>{Value::of_i64(n)});
+  ASSERT_TRUE(mig::pause_at_next_msp(home, tid));
+  mig::CapturedState cs = mig::capture_segment(home, tid, {0, 1});
+  home.ti().set_debug_enabled(false);
+
+  mig::Segment seg(w);
+  seg.objman().bind_home(&home, tid, 1, link);
+  seg.restore(cs);
+
+  mig::CheckpointDeltas deltas;
+  ASSERT_EQ(seg.run_chunk(4000), svm::StopReason::SafePoint);
+  auto first = mig::checkpoint_segment(seg, home, link, deltas);
+  ASSERT_EQ(seg.run_chunk(4000), svm::StopReason::SafePoint);
+  auto second = mig::checkpoint_segment(seg, home, link, deltas);
+
+  // First checkpoint ships both objects (creations); the second ships the
+  // mutated `hot` but skips the untouched `keep`, so its delta is
+  // strictly below its full (non-incremental) payload.
+  EXPECT_EQ(first.heap_bytes, first.full_heap_bytes);
+  EXPECT_GE(first.objects_shipped, 2);
+  EXPECT_LT(second.heap_bytes, second.full_heap_bytes);
+  EXPECT_EQ(second.objects_shipped, 1);
+
+  Value result = seg.run_to_completion();
+  mig::write_back(seg, home, tid, 1, result, link);
+  home.ti().set_debug_enabled(false);
+  ASSERT_EQ(home.run_guest(tid).reason, svm::StopReason::Done);
+  EXPECT_EQ(home.vm().thread(tid).result.as_i64(), 7 + n * (n - 1) / 2);
+}
+
+/// Guest whose segment only *reads* a home object: `main` builds the Node
+/// at home, `work` faults it in and sums its field — never mutating it.
+bc::Program read_only_program() {
+  ProgramBuilder pb;
+  auto& nd = pb.cls("Node");
+  nd.field("val", Ty::I64);
+  auto& M = pb.cls("M");
+  auto& mk = M.method("main", {{"n", Ty::I64}}, Ty::I64);
+  uint16_t node = mk.local("node", Ty::Ref);
+  mk.stmt().new_("Node").astore(node);
+  mk.stmt().aload(node).iconst(41).putfield("Node.val");
+  mk.stmt().aload(node).iload("n").invoke("M.work").iret();
+  auto& w = M.method("work", {{"r", Ty::Ref}, {"n", Ty::I64}}, Ty::I64);
+  uint16_t sum = w.local("sum", Ty::I64);
+  uint16_t i = w.local("i", Ty::I64);
+  bc::Label loop = w.label();
+  bc::Label done = w.label();
+  w.stmt().iconst(0).istore(sum);
+  w.stmt().iconst(0).istore(i);
+  w.bind(loop);
+  w.stmt().iload(i).iload("n").if_icmpge(done);
+  w.stmt().iload(sum).aload("r").getfield("Node.val").iadd().istore(sum);
+  w.stmt().iload(i).iconst(1).iadd().istore(i);
+  w.stmt().go(loop);
+  w.bind(done);
+  w.stmt().iload(sum).iret();
+  return pb.build();
+}
+
+TEST(Checkpoint, FirstCheckpointSkipsFetchedButUnmodifiedObjects) {
+  auto p = read_only_program();
+  prep::preprocess_program(p);
+  uint16_t work = p.find_method("M.work");
+  mig::SodNode home("home", p, {});
+  mig::SodNode w("w", p, {});
+  sim::Link link = sim::Link::gigabit();
+  w.enable_class_fetch(&home, link);
+
+  int64_t n = 2000;
+  int tid = home.vm().spawn(p.find_method("M.main"), std::vector<Value>{Value::of_i64(n)});
+  ASSERT_TRUE(mig::pause_at_depth(home, tid, work, 2));
+  mig::CapturedState cs = mig::capture_segment(home, tid, {0, 1});
+  home.ti().set_debug_enabled(false);
+
+  mig::Segment seg(w);
+  seg.objman().bind_home(&home, tid, 1, link);
+  seg.restore(cs);
+
+  mig::CheckpointDeltas deltas;
+  ASSERT_EQ(seg.run_chunk(3000), svm::StopReason::SafePoint);
+  ASSERT_GE(seg.objman().stats().faults, 1);  // the Node was fetched
+  auto ck = mig::checkpoint_segment(seg, home, link, deltas);
+  // Fetched but never mutated: home already holds the payload, so even
+  // the very first checkpoint ships nothing for it.
+  EXPECT_EQ(ck.objects_shipped, 0);
+  EXPECT_LT(ck.heap_bytes, ck.full_heap_bytes);
+
+  Value result = seg.run_to_completion();
+  mig::write_back(seg, home, tid, 1, result, link);
+  home.ti().set_debug_enabled(false);
+  ASSERT_EQ(home.run_guest(tid).reason, svm::StopReason::Done);
+  EXPECT_EQ(home.vm().thread(tid).result.as_i64(), 41 * n);
+}
+
+// --- scheduler: resume after worker loss ---
+
+TEST(Scheduler, WorkerLossAtACheckpointResumesFromIt) {
+  auto p = prepped_fib();
+  uint16_t fib = p.find_method("Main.fib");
+  Cluster c(p);
+  c.add_uniform_workers(3);
+  auto pol = make_policy(PolicyKind::RoundRobin);
+  DispatchOptions opt;
+  opt.checkpoint_every = kEvery;
+  Scheduler s(c, *pol, opt);
+  s.fail_after_checkpoints(2);  // kill the worker taking the 2nd checkpoint
+  int tid = c.home().vm().spawn(fib, std::vector<Value>{Value::of_i64(24)});
+  ASSERT_TRUE(mig::pause_at_depth(c.home(), tid, fib, 3 + 4));
+  auto out = s.run(tid, split_top_frames(3));
+  c.home().ti().set_debug_enabled(false);
+  ASSERT_EQ(c.home().run_guest(tid).reason, svm::StopReason::Done);
+  EXPECT_EQ(c.home().vm().thread(tid).result.as_i64(), sod::testing::fib_ref(24));
+
+  EXPECT_GE(out.checkpoints, 2);
+  EXPECT_EQ(out.resumed, 1);
+  EXPECT_EQ(out.redispatched, 1);
+  EXPECT_EQ(s.workers_lost(), 1);
+  EXPECT_TRUE(s.exactly_once());
+  // The resumed segment was dispatched twice; its completing attempt is
+  // the second one, and the first is the one that failed.
+  int failed = 0, dispatched = 0;
+  for (const Event& e : s.log()) {
+    if (e.kind == EventKind::SegmentFailed) {
+      ++failed;
+      EXPECT_EQ(e.attempt, 1);
+    }
+    if (e.kind == EventKind::SegmentDispatched) ++dispatched;
+  }
+  EXPECT_EQ(failed, 1);
+  EXPECT_EQ(dispatched, 4);  // 3 initial + 1 resume
+  bool saw_resumed = false;
+  for (const auto& pl : out.placements) saw_resumed = saw_resumed || pl.attempts == 2;
+  EXPECT_TRUE(saw_resumed);
+}
+
+TEST(Scheduler, AutoscalerDrainDuringCheckpointedRoundIsNotAFailure) {
+  auto p = prepped_fib();
+  uint16_t fib = p.find_method("Main.fib");
+  Cluster c(p);
+  c.add_uniform_workers(2);
+  auto pol = make_policy(PolicyKind::RoundRobin);
+  DispatchOptions opt;
+  opt.checkpoint_every = kEvery;
+  Scheduler s(c, *pol, opt);
+  s.set_autoscaler(std::make_unique<Autoscaler>(
+      Autoscaler::Config{}, std::vector<WorkerSpec>{{"standby1", {}, sim::Link::gigabit()}}));
+  int tid = c.home().vm().spawn(fib, std::vector<Value>{Value::of_i64(26)});
+  // Round 1 (4 segments / 2 workers) joins the standby on high water;
+  // round 2 (5 segments) walks the round-robin cursor so round 3's single
+  // segment lands on the joiner, whose queue is then non-empty when the
+  // placement-phase tick drains it on low water.  The draining worker
+  // must *finish* that segment under checkpoints — a drain is not a loss
+  // (regression: take_checkpoint treated Draining like Lost, fabricating
+  // SegmentFailed events and leaking the queue entry).
+  for (int k : {4, 5, 1}) {
+    ASSERT_TRUE(mig::pause_at_depth(c.home(), tid, fib, k + 4));
+    s.run(tid, split_top_frames(k));
+    c.home().ti().set_debug_enabled(false);
+  }
+  c.home().ti().set_debug_enabled(false);
+  ASSERT_EQ(c.home().run_guest(tid).reason, svm::StopReason::Done);
+  EXPECT_EQ(c.home().vm().thread(tid).result.as_i64(), sod::testing::fib_ref(26));
+  EXPECT_TRUE(s.exactly_once());
+  EXPECT_EQ(s.workers_lost(), 0);
+  EXPECT_EQ(s.redispatches(), 0);
+  for (const Event& e : s.log()) EXPECT_NE(e.kind, EventKind::SegmentFailed);
+  EXPECT_GE(s.autoscaler()->drains(), 1);
+  EXPECT_EQ(c.state(2), WorkerState::Retired);  // finished its work, then left
+}
+
+TEST(Scheduler, ResumeBeatsRestartFromCapture) {
+  auto total_with = [](bool resume) {
+    auto p = prepped_fib();
+    uint16_t fib = p.find_method("Main.fib");
+    Cluster c(p);
+    c.add_uniform_workers(3);
+    auto pol = make_policy(PolicyKind::RoundRobin);
+    DispatchOptions opt;
+    opt.checkpoint_every = kEvery;
+    opt.resume_from_checkpoint = resume;
+    Scheduler s(c, *pol, opt);
+    s.fail_after_checkpoints(3);
+    int tid = c.home().vm().spawn(fib, std::vector<Value>{Value::of_i64(24)});
+    EXPECT_TRUE(mig::pause_at_depth(c.home(), tid, fib, 3 + 4));
+    auto out = s.run(tid, split_top_frames(3));
+    c.home().ti().set_debug_enabled(false);
+    EXPECT_EQ(c.home().run_guest(tid).reason, svm::StopReason::Done);
+    EXPECT_EQ(c.home().vm().thread(tid).result.as_i64(), sod::testing::fib_ref(24));
+    EXPECT_EQ(out.resumed, resume ? 1 : 0);
+    EXPECT_EQ(out.redispatched, 1);
+    EXPECT_TRUE(s.exactly_once());
+    return c.home().node().clock.now();
+  };
+  VDur resumed = total_with(true);
+  VDur restarted = total_with(false);
+  // Both runs pay the same checkpoint cadence and lose the same worker at
+  // the same instant; only the recovery differs, and re-executing from
+  // the round-start capture is strictly slower than resuming.
+  EXPECT_LT(resumed.ns, restarted.ns);
+}
+
+// --- scheduler: speculation ---
+
+struct SpecResult {
+  VDur total{};
+  double mean_completion_ms = 0;
+  int speculated = 0;
+  int cancelled = 0;
+  int64_t result = 0;
+  std::vector<std::tuple<int, int64_t, int, int, int, int>> events;
+};
+
+SpecResult run_hetero(bool speculate) {
+  auto p = prepped_fib();
+  uint16_t fib = p.find_method("Main.fib");
+  Cluster c(p);
+  c.add_worker({"xeon1", {}, sim::Link::gigabit()});
+  c.add_worker({"xeon2", {}, sim::Link::gigabit()});
+  mig::SodNode::Config dev;
+  dev.cpu_scale = 25.0;
+  c.add_worker({"wifi-device", dev, sim::Link::wifi_kbps(2000)});
+  auto pol = make_policy(PolicyKind::LeastLoaded);
+  DispatchOptions opt;
+  opt.checkpoint_every = kEvery;
+  opt.speculate = speculate;
+  Scheduler s(c, *pol, opt);
+  int tid = c.home().vm().spawn(fib, std::vector<Value>{Value::of_i64(26)});
+  SpecResult res;
+  double sum_ms = 0;
+  int segments = 0;
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_TRUE(mig::pause_at_depth(c.home(), tid, fib, 3 + 4));
+    VDur round_start = c.home_now();
+    auto out = s.run(tid, split_top_frames(3));
+    c.home().ti().set_debug_enabled(false);
+    res.speculated += out.speculated;
+    res.cancelled += out.cancelled;
+    for (const auto& pl : out.placements) {
+      ++segments;
+      sum_ms += (pl.completed_at - round_start).ms();
+    }
+  }
+  c.home().ti().set_debug_enabled(false);
+  EXPECT_EQ(c.home().run_guest(tid).reason, svm::StopReason::Done);
+  res.result = c.home().vm().thread(tid).result.as_i64();
+  res.mean_completion_ms = sum_ms / segments;
+  res.total = c.home().node().clock.now();
+  EXPECT_TRUE(s.exactly_once());
+  for (const Event& e : s.log())
+    res.events.emplace_back(static_cast<int>(e.kind), e.at.ns, e.round, e.segment, e.worker,
+                            e.attempt);
+  return res;
+}
+
+TEST(Scheduler, SpeculationRescuesTheStragglerDevice) {
+  SpecResult spec = run_hetero(true);
+  SpecResult base = run_hetero(false);
+  // least_loaded parks one segment per round on the 25x device; the
+  // tracker (trained by the Xeon completions earlier in the round) flags
+  // it, a backup launches from the newest checkpoint on a Xeon, wins, and
+  // the device attempt is cancelled.
+  EXPECT_GE(spec.speculated, 1);
+  EXPECT_GE(spec.cancelled, 1);
+  EXPECT_EQ(base.speculated, 0);
+  EXPECT_EQ(base.cancelled, 0);
+  EXPECT_EQ(spec.result, base.result);  // suppression keeps results identical
+  EXPECT_LT(spec.mean_completion_ms, base.mean_completion_ms);
+  EXPECT_LT(spec.total.ns, base.total.ns);
+}
+
+TEST(Scheduler, CancelledAttemptsNeverComplete) {
+  SpecResult spec = run_hetero(true);
+  // Every cancelled attempt was launched, and no cancelled attempt has a
+  // completion — the loser's write-back really was suppressed.
+  std::vector<std::tuple<int, int, int>> cancelled;
+  int completions = 0, speculative = 0;
+  for (const auto& [kind, at, round, segment, worker, attempt] : spec.events) {
+    if (kind == static_cast<int>(EventKind::AttemptCancelled))
+      cancelled.emplace_back(round, segment, attempt);
+    if (kind == static_cast<int>(EventKind::SpeculativeDispatched)) ++speculative;
+    if (kind == static_cast<int>(EventKind::SegmentCompleted)) ++completions;
+  }
+  ASSERT_FALSE(cancelled.empty());
+  EXPECT_EQ(completions, 9);  // 3 rounds x 3 segments, exactly once each
+  EXPECT_EQ(speculative, static_cast<int>(cancelled.size()) +
+                             0);  // every race ended with exactly one loser
+  for (const auto& [round, segment, attempt] : cancelled) {
+    for (const auto& [kind, at, r2, s2, w2, a2] : spec.events) {
+      if (kind != static_cast<int>(EventKind::SegmentCompleted)) continue;
+      if (r2 == round && s2 == segment) {
+        EXPECT_NE(a2, attempt);
+      }
+    }
+  }
+}
+
+TEST(Scheduler, CheckpointAndSpeculationLogsAreDeterministic) {
+  SpecResult a = run_hetero(true);
+  SpecResult b = run_hetero(true);
+  ASSERT_FALSE(a.events.empty());
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.result, b.result);
+}
+
+// --- all four Table I apps: resume produces bit-identical results ---
+
+enum class AppMode { Clean, Resume, Restart };
+
+int64_t run_app(const apps::AppSpec& spec, AppMode mode) {
+  bc::Program p = spec.build();
+  prep::preprocess_program(p);
+  Cluster c(p);
+  c.add_uniform_workers(3);
+  auto pol = make_policy(PolicyKind::RoundRobin);
+  DispatchOptions opt;
+  bool checkpoint_and_fail = mode != AppMode::Clean;
+  if (checkpoint_and_fail) opt.checkpoint_every = kEvery;
+  opt.resume_from_checkpoint = mode != AppMode::Restart;
+  Scheduler s(c, *pol, opt);
+  if (checkpoint_and_fail) s.fail_after_checkpoints(1);
+  uint16_t trigger = p.find_method(spec.trigger_method);
+  int depth = std::min(spec.paper_depth, 4);
+  int tid = c.home().vm().spawn(p.find_method(spec.entry), spec.bench_args);
+  int remaining = c.size();
+  while (remaining > 0 && mig::pause_at_depth(c.home(), tid, trigger, depth)) {
+    int k = std::min(remaining, depth - 1);
+    if (remaining > k) k = std::max(1, depth - 2);
+    s.run(tid, split_top_frames(k));
+    c.home().ti().set_debug_enabled(false);
+    remaining -= k;
+  }
+  c.home().ti().set_debug_enabled(false);
+  EXPECT_EQ(c.home().run_guest(tid).reason, svm::StopReason::Done) << spec.name;
+  EXPECT_TRUE(s.exactly_once()) << spec.name;
+  if (checkpoint_and_fail) {
+    EXPECT_GE(s.checkpoints(), 1) << spec.name;
+    EXPECT_EQ(s.workers_lost(), 1) << spec.name;
+  }
+  return c.home().vm().thread(tid).result.as_i64();
+}
+
+TEST(Scheduler, RecoveryIsBitIdenticalOnAllTableIApps) {
+  // Resume restores the newest checkpoint (home absorbed its flush);
+  // restart re-executes from the original capture against home state the
+  // checkpoints never touched (apply_at_home=false) — both must land on
+  // exactly the uninterrupted result, statics-heavy TSP/FFT included.
+  for (const apps::AppSpec& spec : apps::table1_apps()) {
+    int64_t clean = run_app(spec, AppMode::Clean);
+    EXPECT_EQ(clean, run_app(spec, AppMode::Resume)) << spec.name << " resume";
+    EXPECT_EQ(clean, run_app(spec, AppMode::Restart)) << spec.name << " restart";
+    if (spec.bench_expected != INT64_MIN) {
+      EXPECT_EQ(clean, spec.bench_expected) << spec.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sod::cluster

@@ -23,7 +23,7 @@ const std::set<std::string> kExpected = {
     "fib", "nqueens", "fft", "tsp", "docsearch", "photoshare",
     // benches
     "table1", "table2", "table3", "table4", "table5", "table6", "table7",
-    "fig1", "fig5", "placement", "elastic", "failover", "roaming_grid",
+    "fig1", "fig5", "placement", "elastic", "failover", "checkpoint", "roaming_grid",
     "overhead_components", "ablation_fetch", "ablation_prefetch", "ablation_segments",
     // examples
     "quickstart", "elastic_search", "photo_share", "workflow_roaming"};
@@ -118,6 +118,33 @@ TEST(Flags, ParsesFailAtAndAutoscale) {
   EXPECT_FALSE(parse_scenario_flags({"--fail-at", "-1"}, opt, ""));
   EXPECT_FALSE(parse_scenario_flags({"--fail-at", "soon"}, opt, ""));
   EXPECT_FALSE(parse_scenario_flags({"--fail-at", ""}, opt, ""));
+}
+
+TEST(Flags, ParsesCheckpointEveryAndSpeculate) {
+  ScenarioOptions opt;
+  EXPECT_EQ(opt.checkpoint_every, 0);  // unset = checkpointing off
+  EXPECT_FALSE(opt.speculate);
+  ASSERT_TRUE(parse_scenario_flags({"--checkpoint-every", "20000", "--speculate"}, opt, ""));
+  EXPECT_EQ(opt.checkpoint_every, 20000);
+  EXPECT_TRUE(opt.speculate);
+  ASSERT_TRUE(parse_scenario_flags({"--checkpoint-every", "1"}, opt, ""));
+  EXPECT_EQ(opt.checkpoint_every, 1);
+  EXPECT_FALSE(parse_scenario_flags({"--checkpoint-every"}, opt, ""));
+  EXPECT_FALSE(parse_scenario_flags({"--checkpoint-every", "0"}, opt, ""));
+  EXPECT_FALSE(parse_scenario_flags({"--checkpoint-every", "-5"}, opt, ""));
+  EXPECT_FALSE(parse_scenario_flags({"--checkpoint-every", "often"}, opt, ""));
+}
+
+// Speculative backups launch from the newest checkpoint, so --speculate
+// without a checkpoint cadence is a configuration error, not a no-op.
+TEST(Flags, SpeculateRequiresCheckpointEvery) {
+  ScenarioOptions opt;
+  EXPECT_FALSE(parse_scenario_flags({"--speculate"}, opt, ""));
+  ::testing::internal::CaptureStderr();
+  ScenarioOptions opt2;
+  EXPECT_FALSE(parse_scenario_flags({"--speculate"}, opt2, ""));
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("--checkpoint-every"), std::string::npos) << err;
 }
 
 // Regression: the --churn diagnostic used to repeat the raw argv token;

@@ -72,6 +72,10 @@ def diff_table(name, old, new, threshold):
                 continue
             if i < len(old_cols) and old_cols[i] != new_cols[i]:
                 continue  # column set changed; not comparable
+            if new_cols[i].startswith("wall_") or new_cols[i].endswith("_ns"):
+                # Wall-clock timings are machine- and load-dependent; only
+                # the virtual-time columns are deterministic enough to gate.
+                continue
             old_v, new_v = as_number(old_row[i]), as_number(cell)
             if old_v is None or new_v is None or old_v < 0:
                 continue

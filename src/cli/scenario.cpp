@@ -158,6 +158,13 @@ bool parse_scenario_flags(const std::vector<std::string>& args, ScenarioOptions&
       opt.checkpoint_every = every;
     } else if (a == "--speculate") {
       opt.speculate = true;
+    } else if (a == "--threads") {
+      if (!parse_int_flag(args, i, "--threads", 1, 256, "a thread count in 1..256",
+                          opt.threads))
+        return false;
+      opt.wallclock = true;
+    } else if (a == "--wallclock") {
+      opt.wallclock = true;
     } else if (a == "--policy") {
       if (i + 1 >= args.size()) {
         std::fprintf(stderr, "sodctl: --policy requires a value\n");

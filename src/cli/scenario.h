@@ -51,6 +51,13 @@ struct ScenarioOptions {
   /// newest checkpoint — first completion wins, the loser is cancelled.
   /// Requires --checkpoint-every.
   bool speculate = false;
+  /// Run cluster scenarios on the wall-clock engine (cluster::WallClockEngine)
+  /// with this many pool threads instead of the virtual-time scheduler.
+  /// 0 = virtual time unless --wallclock, which uses one thread per worker.
+  int threads = 0;
+  /// Wall-clock execution with the default thread count (one per worker).
+  /// Implied by --threads N.
+  bool wallclock = false;
   /// When non-empty, bench scenarios write their result table here as
   /// schema-stable JSON (see Table::json).
   std::string json_path;
@@ -108,8 +115,8 @@ bool maybe_write_json(const ScenarioOptions& opt, const std::string& bench_name,
 
 /// Shared flag parsing for sodctl and the standalone scenario binaries.
 /// Understands --smoke, --nodes N, --policy P, --churn X, --fail-at N,
-/// --autoscale, --checkpoint-every N, --speculate, --json [path] and
-/// collects the rest into opt.extra.
+/// --autoscale, --checkpoint-every N, --speculate, --threads N,
+/// --wallclock, --json [path] and collects the rest into opt.extra.
 /// Returns false on malformed flags (one diagnostic per error on stderr,
 /// quoting the offending token once with the accepted range).
 /// `default_json_name` fills json_path when --json is given without a

@@ -12,6 +12,7 @@
 #include "cluster/cluster.h"
 #include "cluster/placement.h"
 #include "cluster/scheduler.h"
+#include "cluster/wallclock.h"
 #include "prep/prep.h"
 #include "sod/migrate.h"
 
@@ -29,7 +30,9 @@ using sod::mig::SodNode;
 /// single-frame segments that are placed by the selected policy and kept
 /// in flight on different workers concurrently (Fig. 1(c)); home then
 /// finishes the residual computation and the result is checked against the
-/// app's expected value.
+/// app's expected value.  With --wallclock / --threads N the rounds run on
+/// the genuinely concurrent WallClockEngine pool instead of the
+/// virtual-time scheduler; results are bit-identical either way.
 int run_table1_app(const AppSpec& spec, const ScenarioOptions& opt) {
   int nodes = opt.nodes > 0 ? opt.nodes : 2;
   auto kind = sod::cluster::parse_policy(opt.policy.empty() ? "round-robin" : opt.policy);
@@ -46,6 +49,13 @@ int run_table1_app(const AppSpec& spec, const ScenarioOptions& opt) {
   auto policy = sod::cluster::make_policy(*kind);
   SodNode& home = c.home();
 
+  std::unique_ptr<sod::cluster::WallClockEngine> engine;
+  if (opt.wallclock) {
+    sod::cluster::WallClockOptions wopt;
+    wopt.threads = opt.threads;
+    engine = std::make_unique<sod::cluster::WallClockEngine>(c, *policy, wopt);
+  }
+
   uint16_t trigger = p.find_method(spec.trigger_method);
   int depth = std::min(spec.paper_depth, 4);
   int tid = home.vm().spawn(p.find_method(spec.entry), spec.bench_args);
@@ -60,13 +70,21 @@ int run_table1_app(const AppSpec& spec, const ScenarioOptions& opt) {
   while (remaining > 0 && sod::mig::pause_at_depth(home, tid, trigger, depth)) {
     int k = std::min(remaining, depth - 1);
     if (remaining > k) k = std::max(1, depth - 2);
-    auto out = sod::cluster::dispatch_segments(c, tid, sod::cluster::split_top_frames(k),
-                                               *policy);
+    auto specs = sod::cluster::split_top_frames(k);
+    auto out = engine ? engine->run(tid, specs)
+                      : sod::cluster::dispatch_segments(c, tid, specs, *policy);
     home.ti().set_debug_enabled(false);
-    for (const auto& pl : out.placements)
-      std::printf("round %d: segment [%d,%d) -> %s, restored %.3f ms, done %.3f ms\n", rounds,
-                  pl.spec.depth_lo, pl.spec.depth_hi, pl.worker_name.c_str(),
-                  pl.restored_at.ms(), pl.completed_at.ms());
+    for (size_t s = 0; s < out.placements.size(); ++s) {
+      const auto& pl = out.placements[s];
+      if (engine)
+        std::printf("round %d: segment [%d,%d) -> %s, done %.3f ms virtual / %.3f ms wall\n",
+                    rounds, pl.spec.depth_lo, pl.spec.depth_hi, pl.worker_name.c_str(),
+                    pl.completed_at.ms(), engine->last_completed_wall_ms()[s]);
+      else
+        std::printf("round %d: segment [%d,%d) -> %s, restored %.3f ms, done %.3f ms\n",
+                    rounds, pl.spec.depth_lo, pl.spec.depth_hi, pl.worker_name.c_str(),
+                    pl.restored_at.ms(), pl.completed_at.ms());
+    }
     if (out.faults > 0) std::printf("round %d: %d object faults\n", rounds, out.faults);
     segments += k;
     remaining -= k;
@@ -79,11 +97,15 @@ int run_table1_app(const AppSpec& spec, const ScenarioOptions& opt) {
     return 1;
   }
   int64_t got = home.vm().thread(tid).result.as_i64();
-  std::printf("%s(%s) = %lld over %d node(s), %d segment(s) in %d round(s) [%s], %.3f ms "
+  std::string mode = engine ? " [wall-clock, " +
+                                  std::to_string(opt.threads > 0 ? opt.threads : c.size()) +
+                                  " thread(s)]"
+                            : "";
+  std::printf("%s(%s) = %lld over %d node(s), %d segment(s) in %d round(s) [%s]%s, %.3f ms "
               "virtual\n",
               spec.name.c_str(), std::to_string(spec.bench_args[0].as_i64()).c_str(),
               static_cast<long long>(got), nodes, segments, rounds,
-              sod::cluster::policy_name(*kind), home.node().clock.now().ms());
+              sod::cluster::policy_name(*kind), mode.c_str(), home.node().clock.now().ms());
   // FFT/TSP use INT64_MIN as "no closed-form expectation" (the tests check
   // them against host-side references instead).
   if (spec.bench_expected != INT64_MIN && got != spec.bench_expected) {

@@ -49,6 +49,10 @@ int usage(std::FILE* to) {
                "  --speculate               race straggler segments against a backup copy\n"
                "                            from the newest checkpoint (first completion\n"
                "                            wins); requires --checkpoint-every\n"
+               "  --wallclock               run cluster rounds on the wall-clock thread\n"
+               "                            pool (one thread per worker) instead of the\n"
+               "                            virtual-time scheduler; results are identical\n"
+               "  --threads N               wall-clock pool size (implies --wallclock)\n"
                "  --json [path]             write the result table as JSON\n");
   return to == stdout ? 0 : 2;
 }

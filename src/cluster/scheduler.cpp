@@ -15,13 +15,6 @@ namespace sod::cluster {
 
 namespace {
 
-/// Wire size of the small "here is your caller's value" message forwarded
-/// between chained segments (matches the Fig. 1(c) experiment).  A
-/// cross-worker ref result rides the same message: the payload already
-/// went home with the upstream write-back, so only the handle travels.
-/// Cancellation signals of a speculative race are the same size.
-constexpr size_t kResultMsgBytes = 16;
-
 /// Bitwise value identity: the statics refresh must not re-ship a field
 /// whose payload is unchanged (and must still ship e.g. a NaN that was
 /// overwritten by a different NaN).
@@ -626,7 +619,7 @@ void Scheduler::write_back(size_t i) {
   store_.drop(round_, static_cast<int>(i));
 }
 
-bool Scheduler::exactly_once() const {
+bool exactly_once_log(const std::vector<Event>& log) {
   // Attempt-aware invariant: speculative duplicate dispatches are legal,
   // but exactly one attempt per (round, segment) completes and writes
   // back; the completing attempt must have been dispatched and must not
@@ -634,7 +627,7 @@ bool Scheduler::exactly_once() const {
   std::map<std::pair<int, int>, std::pair<int, int>> counts;  // key -> (dispatched, completed)
   std::map<std::pair<int, int>, int> completing_attempt;
   std::set<std::tuple<int, int, int>> launched, killed;
-  for (const Event& e : log_) {
+  for (const Event& e : log) {
     auto rs = std::pair(e.round, e.segment);
     switch (e.kind) {
       case EventKind::SegmentDispatched:
@@ -661,6 +654,8 @@ bool Scheduler::exactly_once() const {
   }
   return true;
 }
+
+bool Scheduler::exactly_once() const { return exactly_once_log(log_); }
 
 DispatchOutcome Scheduler::run(int home_tid, const std::vector<mig::SegmentSpec>& specs) {
   mig::SodNode& home = c_->home();

@@ -70,6 +70,12 @@ enum class EventKind {
 
 const char* event_name(EventKind k);
 
+/// Wire size of the small "here is your caller's value" message forwarded
+/// between chained segments (matches the Fig. 1(c) experiment).  A
+/// cross-worker ref result rides the same message: the payload already
+/// went home with the upstream write-back, so only the handle travels.
+inline constexpr size_t kResultMsgBytes = 16;
+
 /// One entry of the scheduler's totally ordered event log.  `seq` breaks
 /// virtual-time ties deterministically; `round` counts Scheduler::run
 /// calls over the scheduler's lifetime.  `attempt` identifies which
@@ -85,6 +91,13 @@ struct Event {
   int worker = -1;   ///< worker id (segment + membership events)
   int attempt = 0;   ///< attempt id (segment + checkpoint events)
 };
+
+/// The attempt-aware exactly-once invariant over a scheduler-shaped event
+/// log (shared by the virtual-time Scheduler and the wall-clock engine):
+/// every (round, segment) ever dispatched has exactly one SegmentCompleted,
+/// the completing attempt was itself dispatched, and no attempt that was
+/// cancelled or failed ever completes.
+bool exactly_once_log(const std::vector<Event>& log);
 
 struct DispatchOptions {
   /// Ship every segment as soon as it is serialized (the Fig. 1(c)

@@ -1,0 +1,161 @@
+// WallClockEngine — the wall-clock execution half of the cluster layer.
+//
+// Executes dispatched segments genuinely concurrently: one ThreadPool lane
+// per cluster worker runs that worker's restore and execute jobs (a worker
+// SodNode stays single-threaded by construction), while every home-side
+// touch — write-backs, ref forwarding, statics refreshes, object-fault
+// round trips, on-demand class fetches, placement accounting, and the
+// event log — is serialized through one home mutex, mirroring the paper's
+// single home-side agent thread.  Virtual clocks still advance exactly as
+// in the simulator (execution charges the worker clock, communication
+// charges both ends), so one run yields both wall-clock and virtual-time
+// columns.
+//
+// Determinism contract with the virtual-time Scheduler (the twin CI
+// asserts against): for the same cluster topology, policy, and workload, a
+// wall-clock run produces the same completion set {(round, segment)}, the
+// same write-back payload bytes, bit-identical application results, and an
+// event log satisfying the same attempt-aware exactly_once() invariant.
+// In fault-free rounds the virtual timestamps are bit-identical too: all
+// virtual-clock accounting runs on the home thread in the Scheduler's
+// exact operation order (placement charge, ship, restore per segment; the
+// execute/write-back chain is dependency-ordered), so wall interleavings
+// only decide when real work happens, never what the clocks read.  NOT
+// contracted after a worker loss: re-dispatch placements and the virtual
+// timestamps downstream of them (the wall engine picks survivors by queue
+// depth and restores on the survivor's live lane instead of consulting the
+// clock-reading policy, because surviving workers' clocks are live while
+// their lanes run).
+//
+// Communication is surfaced in wall time as real sleeps: a segment ship, a
+// cross-worker result relay, each sleeps its virtual transfer time scaled
+// by `dilation`.  With >= 2 pool threads those sleeps (and the restores
+// they gate) overlap upstream execution — the Fig. 1(c) freeze-time hiding
+// measured on real cores instead of simulated.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cluster/scheduler.h"
+#include "cluster/threadpool.h"
+
+namespace sod::cluster {
+
+struct WallClockOptions {
+  /// Pool threads; 0 = one per cluster worker (at run() entry).
+  int threads = 0;
+  /// Ship every segment as soon as it is serialized (Fig. 1(c)); when
+  /// false, segment i+1 ships only after segment i completed.
+  bool concurrent = true;
+  /// Real-sleep seconds per virtual second of communication (ship/relay)
+  /// time.  1.0 sleeps the full modelled transfer; benches dial it down to
+  /// keep runs fast while preserving relative overlap.
+  double dilation = 1.0;
+};
+
+/// The wall-clock twin of Scheduler::run.  One engine persists across
+/// dispatch rounds; its event log and counters span the whole scenario.
+class WallClockEngine {
+ public:
+  WallClockEngine(Cluster& c, PlacementPolicy& policy, WallClockOptions opt = {});
+  ~WallClockEngine();
+
+  Cluster& cluster() { return *c_; }
+
+  /// Captures `specs` from the paused home thread and runs them on the
+  /// pool; blocks until the bottom segment's write-back lands.  Same
+  /// preconditions as Scheduler::run.
+  DispatchOutcome run(int home_tid, const std::vector<mig::SegmentSpec>& specs);
+
+  /// Schedules a worker loss once `completions` SegmentCompleted events
+  /// have fired over the engine's lifetime; processed under the home mutex
+  /// at the triggering completion, so the loss lands mid-round while other
+  /// lanes are executing.  `worker` < 0 picks the accepting worker with
+  /// the deepest queue at the firing instant.
+  void fail_after(int completions, int worker = -1);
+  /// Fails a worker immediately (between or during rounds); outstanding
+  /// attempts on it are re-dispatched to survivors and their in-flight
+  /// jobs become stale no-ops (a non-winning attempt never writes back).
+  void fail_worker(int worker);
+  /// Membership churn, serialized against the running pool.
+  int add_worker(const WorkerSpec& spec);
+  void drain_worker(int id);
+
+  /// Totally ordered (by the home mutex) event log across all rounds.
+  const std::vector<Event>& log() const { return log_; }
+  bool exactly_once() const { return exactly_once_log(log_); }
+  int rounds() const { return round_ + 1; }
+  int completions() const { return completed_total_; }
+  int workers_lost() const { return lost_total_; }
+  int redispatches() const { return redispatched_total_; }
+
+  /// Wall milliseconds from the last run()'s start to each segment's
+  /// completion write-back, indexed by segment.
+  const std::vector<double>& last_completed_wall_ms() const { return wall_completed_ms_; }
+  /// Wall milliseconds of the last run() end to end.
+  double last_round_wall_ms() const { return last_round_wall_ms_; }
+
+ private:
+  struct Task;
+
+  void emit_locked(EventKind kind, VDur at, int segment, int worker, int attempt = 0);
+  /// Policy placement + virtual ship + virtual restore of segment i, all
+  /// on the home thread with lanes quiescent — the same operation order as
+  /// Scheduler::dispatch, which is what makes fault-free virtual
+  /// timestamps bit-identical.  Enqueues nothing.
+  void place_locked(size_t i);
+  /// Queue-depth re-dispatch of segment i to a survivor (any thread, other
+  /// lanes live: no clock reads, no destination-clock charges).
+  void redispatch_locked(size_t i);
+  /// Wall-only ship of an initially-placed segment: sleeps the modelled
+  /// transfer on the destination lane, then marks the task executable.
+  void submit_ship(size_t i);
+  void ship_job(size_t i, int attempt);
+  /// Full lane-side restore of a re-dispatched attempt (fault path only).
+  void submit_restore(size_t i);
+  void restore_job(size_t i, int attempt);
+  void exec_job(size_t i, int attempt);
+  void do_fail_locked(int worker);
+  void process_failure_plans_locked();
+  int pick_failure_target_locked() const;
+  int64_t sleep_ns_for(VDur virt) const;
+
+  Cluster* c_;
+  PlacementPolicy* policy_;
+  WallClockOptions opt_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  /// The home mutex: guards the home SodNode, the cluster membership and
+  /// queue accounting, the event log, every Task, and the outcome under
+  /// construction.  Recursive because gated callees (write-back resolving
+  /// stubs, fetches during a gated section) re-enter gated paths.
+  mutable std::recursive_mutex mu_;
+  std::condition_variable_any cv_;
+
+  struct FailurePlan {
+    int at_count;
+    int worker;
+    bool fired = false;
+  };
+  std::vector<FailurePlan> plans_;
+  std::vector<Event> log_;
+  int seq_ = 0;
+  int round_ = -1;
+  int completed_total_ = 0;
+  int lost_total_ = 0;
+  int redispatched_total_ = 0;
+
+  // Live only inside run().
+  int home_tid_ = -1;
+  std::vector<Task> tasks_;
+  DispatchOutcome* out_ = nullptr;
+  std::chrono::steady_clock::time_point round_t0_{};
+  std::vector<double> wall_completed_ms_;
+  double last_round_wall_ms_ = 0;
+};
+
+}  // namespace sod::cluster

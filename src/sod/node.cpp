@@ -48,8 +48,10 @@ void SodNode::sync_ti_cost() {
   }
 }
 
-void SodNode::enable_class_fetch(SodNode* home, sim::Link link) {
-  vm_->on_class_load = [this, home, link](svm::VM&, uint16_t cls) {
+void SodNode::enable_class_fetch(SodNode* home, sim::Link link, std::recursive_mutex* gate) {
+  vm_->on_class_load = [this, home, link, gate](svm::VM&, uint16_t cls) {
+    auto lk = gate ? std::unique_lock<std::recursive_mutex>(*gate)
+                   : std::unique_lock<std::recursive_mutex>();
     if (class_shipped(cls)) return;
     shipped_.insert(cls);
     size_t img = prog_->class_image(cls).size();

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <unordered_set>
 #include <string>
 
@@ -67,8 +68,11 @@ class SodNode {
   /// Virtual time spent in on-demand class fetches (Table VII's t3).
   VDur class_fetch_time() const { return class_fetch_time_; }
 
-  /// Wire up the on-demand class fetch hook against a home node.
-  void enable_class_fetch(SodNode* home, sim::Link link);
+  /// Wire up the on-demand class fetch hook against a home node.  When
+  /// `gate` is non-null (wall-clock mode) the hook serializes its home
+  /// round trip — and the shipped-class set it shares with the dispatcher
+  /// thread — through that mutex.
+  void enable_class_fetch(SodNode* home, sim::Link link, std::recursive_mutex* gate = nullptr);
 
  private:
   sim::Node node_;

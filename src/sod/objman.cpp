@@ -72,6 +72,7 @@ Ref ObjectManager::resolve_stub_home(Ref stub) {
   Ref direct = worker_->vm().heap().stub_home(stub);
   if (direct != bc::kNull) return direct;
   if (!home_) return bc::kNull;
+  auto gate = gate_lock();
   if (auto sit = static_stub_origin_.find(stub); sit != static_stub_origin_.end()) {
     Value hv = home_->ti().get_static_field(sit->second);
     home_->sync_ti_cost();
@@ -91,6 +92,7 @@ Ref ObjectManager::fetch(Ref home_ref) {
   SOD_CHECK(home_ && worker_, "fetch without home binding");
   auto it = home_map_.find(home_ref);
   if (it != home_map_.end()) return it->second;
+  auto gate = gate_lock();
 
   // Home side: locate the object and (with prefetch) its neighbourhood up
   // to prefetch_depth_ hops; everything rides one response message.
@@ -183,6 +185,7 @@ void ObjectManager::bring_static(VM& vm, int64_t field_id) {
   if (cur.r != bc::kNull && !vm.heap().is_stub(cur.r)) return;
 
   if (cur.r != bc::kNull && home_) {  // remote stub standing for the home static
+    auto gate = gate_lock();
     Value hv = home_->ti().get_static_field(fd.id);
     home_->sync_ti_cost();
     if (hv.tag == bc::Ty::Ref && hv.r != bc::kNull) {

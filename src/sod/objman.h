@@ -21,6 +21,7 @@
 // the home node's clock.
 #pragma once
 
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -48,6 +49,14 @@ class ObjectManager {
   /// `seg_len` frames.
   void bind_home(SodNode* home, int home_tid, int seg_len, sim::Link link);
   void unbind_home() { home_ = nullptr; }
+
+  /// Serialize every home-side touch (tool-interface reads, object fetch
+  /// round trips) through `gate`.  The wall-clock engine installs its home
+  /// mutex here so concurrent worker lanes never race on the home node;
+  /// nullptr (the default) keeps the lock-free single-threaded behaviour
+  /// of the virtual-time scheduler.  Recursive because a gated caller
+  /// (write-back) may re-enter gated paths (stub resolution).
+  void set_home_gate(std::recursive_mutex* gate) { home_gate_ = gate; }
 
   const FaultStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
@@ -101,8 +110,15 @@ class ObjectManager {
   void bring_elem(svm::VM& vm, Ref base, int64_t idx);
   void enter(svm::VM& vm, int64_t uid);
 
+  /// Locks home_gate_ for the enclosing scope when one is installed.
+  std::unique_lock<std::recursive_mutex> gate_lock() const {
+    return home_gate_ ? std::unique_lock<std::recursive_mutex>(*home_gate_)
+                      : std::unique_lock<std::recursive_mutex>();
+  }
+
   SodNode* worker_ = nullptr;
   SodNode* home_ = nullptr;
+  std::recursive_mutex* home_gate_ = nullptr;
   int home_tid_ = -1;
   int seg_len_ = 0;
   sim::Link link_{};

@@ -17,8 +17,10 @@ Ref Heap::push_cell(Cell c, size_t bytes) {
   }
   oom_ = false;
   used_ += bytes;
-  cells_.push_back(std::move(c));
-  return static_cast<Ref>(cells_.size());
+  size_t idx = count_++;
+  if ((idx & kChunkMask) == 0) chunks_.emplace_back(std::make_unique<Cell[]>(kChunkCells));
+  chunks_[idx >> kChunkShift][idx & kChunkMask] = std::move(c);
+  return static_cast<Ref>(count_);
 }
 
 size_t Heap::cell_bytes(const Cell& c) const {
@@ -34,37 +36,37 @@ size_t Heap::cell_bytes(const Cell& c) const {
   return std::visit(V{}, c);
 }
 
+// The alloc_* fast paths compute their byte charge directly (the same
+// formulas as cell_bytes) instead of running the visitor over a throwaway
+// Cell copy.
+
 Ref Heap::alloc_obj(uint16_t cls, std::span<const Ty> slot_types) {
   ObjCell o;
   o.cls = cls;
   o.fields.reserve(slot_types.size());
   for (Ty t : slot_types) o.fields.push_back(Value::zero_of(t));
-  size_t b = cell_bytes(Cell(o));
+  size_t b = 16 + slot_types.size() * 8;
   return push_cell(Cell(std::move(o)), b);
 }
 
 Ref Heap::alloc_arr_i(size_t n) {
   ArrICell a;
   a.v.assign(n, 0);
-  size_t b = cell_bytes(Cell(a));
-  return push_cell(Cell(std::move(a)), b);
+  return push_cell(Cell(std::move(a)), 16 + n * 8);
 }
 Ref Heap::alloc_arr_d(size_t n) {
   ArrDCell a;
   a.v.assign(n, 0.0);
-  size_t b = cell_bytes(Cell(a));
-  return push_cell(Cell(std::move(a)), b);
+  return push_cell(Cell(std::move(a)), 16 + n * 8);
 }
 Ref Heap::alloc_arr_r(size_t n) {
   ArrRCell a;
   a.v.assign(n, bc::kNull);
-  size_t b = cell_bytes(Cell(a));
-  return push_cell(Cell(std::move(a)), b);
+  return push_cell(Cell(std::move(a)), 16 + n * 4);
 }
 Ref Heap::alloc_str(std::string s) {
-  StrCell c{std::move(s)};
-  size_t b = cell_bytes(Cell(c));
-  return push_cell(Cell(std::move(c)), b);
+  size_t b = 16 + s.size();
+  return push_cell(Cell(StrCell{std::move(s)}), b);
 }
 
 Ref Heap::alloc_stub(Ref home_ref) { return push_cell(Cell(StubCell{home_ref}), 8); }
@@ -75,14 +77,6 @@ void Heap::replace_stub(Ref stub, Cell materialized) {
   cell(stub) = std::move(materialized);
 }
 
-Cell& Heap::cell(Ref r) {
-  SOD_CHECK(valid(r), "bad ref");
-  return cells_[r - 1];
-}
-const Cell& Heap::cell(Ref r) const {
-  SOD_CHECK(valid(r), "bad ref");
-  return cells_[r - 1];
-}
 ObjCell& Heap::obj(Ref r) {
   auto* p = std::get_if<ObjCell>(&cell(r));
   SOD_CHECK(p, "ref is not an object");
@@ -184,7 +178,7 @@ Ref Heap::deserialize_shallow(ByteReader& r, const RemoteRefSink& remote_of, boo
           case Ty::Void: SOD_UNREACHABLE("void field");
         }
       }
-      size_t b = cell_bytes(Cell(o));
+      size_t b = 16 + o.fields.size() * 8;
       Ref nr = push_cell(Cell(std::move(o)), b);
       if (nr != bc::kNull && remote_of)
         for (auto& [slot, home] : remotes) remote_of(nr, slot, home);
@@ -195,16 +189,14 @@ Ref Heap::deserialize_shallow(ByteReader& r, const RemoteRefSink& remote_of, boo
       ArrICell a;
       a.v.resize(n);
       for (auto& x : a.v) x = r.i64();
-      size_t b = cell_bytes(Cell(a));
-      return push_cell(Cell(std::move(a)), b);
+      return push_cell(Cell(std::move(a)), 16 + n * 8);
     }
     case kWireArrD: {
       uint32_t n = r.u32();
       ArrDCell a;
       a.v.resize(n);
       for (auto& x : a.v) x = r.f64();
-      size_t b = cell_bytes(Cell(a));
-      return push_cell(Cell(std::move(a)), b);
+      return push_cell(Cell(std::move(a)), 16 + n * 8);
     }
     case kWireArrR: {
       uint32_t n = r.u32();
@@ -218,7 +210,7 @@ Ref Heap::deserialize_shallow(ByteReader& r, const RemoteRefSink& remote_of, boo
           if (stubs) a.v[i] = alloc_stub(home);
         }
       }
-      size_t b = cell_bytes(Cell(a));
+      size_t b = 16 + n * 4;
       Ref nr = push_cell(Cell(std::move(a)), b);
       if (nr != bc::kNull && remote_of)
         for (auto& [idx, home] : remotes) remote_of(nr, idx, home);

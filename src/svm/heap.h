@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -84,9 +85,15 @@ class Heap {
   /// True if the last alloc_* failed for capacity (ref came back null).
   bool last_alloc_failed() const { return oom_; }
 
-  bool valid(Ref r) const { return r >= 1 && r <= cells_.size(); }
-  Cell& cell(Ref r);
-  const Cell& cell(Ref r) const;
+  bool valid(Ref r) const { return r >= 1 && r <= count_; }
+  Cell& cell(Ref r) {
+    SOD_CHECK(valid(r), "bad ref");
+    return chunks_[(r - 1) >> kChunkShift][(r - 1) & kChunkMask];
+  }
+  const Cell& cell(Ref r) const {
+    SOD_CHECK(valid(r), "bad ref");
+    return chunks_[(r - 1) >> kChunkShift][(r - 1) & kChunkMask];
+  }
   ObjCell& obj(Ref r);
   const ObjCell& obj(Ref r) const;
   ArrICell& arr_i(Ref r);
@@ -94,7 +101,7 @@ class Heap {
   ArrRCell& arr_r(Ref r);
   const StrCell& str(Ref r) const;
 
-  size_t count() const { return cells_.size(); }
+  size_t count() const { return count_; }
   size_t used_bytes() const { return used_; }
 
   /// Shallow wire form of one cell (embedded refs as raw home ids).
@@ -121,10 +128,18 @@ class Heap {
   static bool deep_equal(const Heap& a, Ref ra, const Heap& b, Ref rb);
 
  private:
+  // Cells live in fixed-size chunks so allocation is a bump of count_ (a
+  // new chunk every kChunkCells allocs) and cell references stay stable —
+  // no vector reallocation moving live Cell storage under the interpreter.
+  static constexpr size_t kChunkShift = 10;
+  static constexpr size_t kChunkCells = size_t{1} << kChunkShift;
+  static constexpr size_t kChunkMask = kChunkCells - 1;
+
   Ref push_cell(Cell c, size_t bytes);
   size_t cell_bytes(const Cell& c) const;
 
-  std::vector<Cell> cells_;
+  std::vector<std::unique_ptr<Cell[]>> chunks_;
+  size_t count_ = 0;
   size_t limit_;
   size_t used_ = 0;
   bool oom_ = false;

@@ -4,6 +4,19 @@
 
 #include "bytecode/disasm.h"
 
+// Direct-threaded dispatch: on GCC/Clang the interpreter loop uses computed
+// goto (a per-opcode label table) so each handler jumps straight to the next
+// handler instead of round-tripping through a switch.  MSVC and unknown
+// compilers fall back to the portable switch loop; -DSOD_COMPUTED_GOTO=0
+// (CMake option SOD_FORCE_SWITCH_DISPATCH) forces the fallback anywhere.
+#ifndef SOD_COMPUTED_GOTO
+#if defined(__GNUC__) || defined(__clang__)
+#define SOD_COMPUTED_GOTO 1
+#else
+#define SOD_COMPUTED_GOTO 0
+#endif
+#endif
+
 namespace sod::svm {
 
 using bc::Instr;
@@ -201,9 +214,66 @@ RunResult VM::run(int tid, uint64_t budget) {
   return loop(th, budget);
 }
 
+// Dispatch plumbing shared by both interpreter modes.  Handlers are written
+// once; VM_LABEL expands to a goto label (direct-threaded) or a case label
+// (switch loop), and every handler ends in VM_NEXT()/VM_JUMP() instead of
+// falling through.  Frame-changing ops (INVOKE, RETURN..., THROW, pending
+// exceptions) always re-enter through vm_top, which runs the full prologue:
+// budget, pause/breakpoint/safepoint checks, and frame re-seating.  The fast
+// path between straight-line instructions skips all of that and only
+// re-checks the flags that could have been set by the handler itself.
+#if SOD_COMPUTED_GOTO
+#define VM_LABEL(name) h_##name
+#define VM_DISPATCH_FAST()                                        \
+  do {                                                            \
+    if (executed >= budget || pause_req_ || debug_) goto vm_top;  \
+    pc = f->pc;                                                   \
+    in = bc::decode(m->code, pc);                                 \
+    next = pc + in.size;                                          \
+    ++executed;                                                   \
+    ++instrs_;                                                    \
+    goto* kJump[static_cast<size_t>(in.op)];                      \
+  } while (0)
+#define VM_NEXT()          \
+  do {                     \
+    f->pc = next;          \
+    VM_DISPATCH_FAST();    \
+  } while (0)
+#define VM_JUMP(target)    \
+  do {                     \
+    f->pc = (target);      \
+    VM_DISPATCH_FAST();    \
+  } while (0)
+#else
+#define VM_LABEL(name) case Op::name
+#define VM_NEXT()   \
+  do {              \
+    f->pc = next;   \
+    goto vm_top;    \
+  } while (0)
+#define VM_JUMP(target)  \
+  do {                   \
+    f->pc = (target);    \
+    goto vm_top;         \
+  } while (0)
+#endif
+
 RunResult VM::loop(GuestThread& th, uint64_t budget) {
   uint64_t executed = 0;
   const Program& P = *prog_;
+
+  Frame* f = nullptr;
+  const Method* m = nullptr;
+  uint32_t pc = 0;
+  uint32_t next = 0;
+  Instr in{};
+
+  auto push = [&](Value v) { f->ostack.push_back(v); };
+  auto pop = [&]() {
+    Value v = f->ostack.back();
+    f->ostack.pop_back();
+    return v;
+  };
 
 #define THROW_GUEST(cls, msg)            \
   do {                                   \
@@ -211,345 +281,370 @@ RunResult VM::loop(GuestThread& th, uint64_t budget) {
     goto handle_pending;                 \
   } while (0)
 
-  while (true) {
-    if (executed >= budget) return {StopReason::Budget, executed};
-    if (th.frames.empty()) break;
+#if SOD_COMPUTED_GOTO
+  // One entry per opcode, in bc::Op declaration order.
+  static const void* const kJump[] = {
+      &&h_NOP,        &&h_ICONST,     &&h_DCONST,     &&h_ACONST_NULL, &&h_LDC_STR,
+      &&h_ILOAD,      &&h_DLOAD,      &&h_ALOAD,      &&h_ISTORE,      &&h_DSTORE,
+      &&h_ASTORE,     &&h_POP,        &&h_DUP,        &&h_SWAP,        &&h_IADD,
+      &&h_ISUB,       &&h_IMUL,       &&h_IDIV,       &&h_IREM,        &&h_INEG,
+      &&h_ISHL,       &&h_ISHR,       &&h_IAND,       &&h_IOR,         &&h_IXOR,
+      &&h_DADD,       &&h_DSUB,       &&h_DMUL,       &&h_DDIV,        &&h_DNEG,
+      &&h_I2D,        &&h_D2I,        &&h_DCMP,       &&h_GOTO,        &&h_IFEQ,
+      &&h_IFNE,       &&h_IFLT,       &&h_IFLE,       &&h_IFGT,        &&h_IFGE,
+      &&h_IF_ICMPEQ,  &&h_IF_ICMPNE,  &&h_IF_ICMPLT,  &&h_IF_ICMPLE,   &&h_IF_ICMPGT,
+      &&h_IF_ICMPGE,  &&h_IFNULL,     &&h_IFNONNULL,  &&h_LOOKUPSWITCH, &&h_GETFIELD,
+      &&h_PUTFIELD,   &&h_GETSTATIC,  &&h_PUTSTATIC,  &&h_NEW,         &&h_NEWARRAY,
+      &&h_IALOAD,     &&h_IASTORE,    &&h_DALOAD,     &&h_DASTORE,     &&h_AALOAD,
+      &&h_AASTORE,    &&h_ARRAYLEN,   &&h_INVOKE,     &&h_INVOKENATIVE, &&h_RETURN,
+      &&h_IRETURN,    &&h_DRETURN,    &&h_ARETURN,    &&h_THROW,
+  };
+  static_assert(sizeof(kJump) / sizeof(kJump[0]) == static_cast<size_t>(bc::kNumOps),
+                "jump table out of sync with bc::Op");
+#endif
 
-    {
-      Frame& f = th.frames.back();
-      const Method& m = P.method(f.method);
-      uint32_t pc = f.pc;
+vm_top:
+  if (executed >= budget) return {StopReason::Budget, executed};
+  if (th.frames.empty()) goto vm_done;
 
-      if (pause_req_) {
-        pause_req_ = false;
-        return {StopReason::Trap, executed};
-      }
-      if (debug_) {
-        if (!th.resume_skip_bp && bps_.count(bp_key(f.method, pc))) {
-          th.resume_skip_bp = true;
-          return {StopReason::Breakpoint, executed};
-        }
-        th.resume_skip_bp = false;
-        if (safepoint_req_ && m.is_stmt_start(pc) && f.ostack.empty()) {
-          return {StopReason::SafePoint, executed};
-        }
-      }
+  f = &th.frames.back();
+  m = &P.method(f->method);
+  pc = f->pc;
 
-      Instr in = bc::decode(m.code, pc);
-      uint32_t next = pc + in.size;
-      ++executed;
-      ++instrs_;
-
-      auto push = [&](Value v) { f.ostack.push_back(v); };
-      auto pop = [&]() {
-        Value v = f.ostack.back();
-        f.ostack.pop_back();
-        return v;
-      };
-
-      switch (in.op) {
-        case Op::NOP: break;
-
-        case Op::ICONST: push(Value::of_i64(in.imm_i)); break;
-        case Op::DCONST: push(Value::of_f64(in.imm_d)); break;
-        case Op::ACONST_NULL: push(Value::null()); break;
-        case Op::LDC_STR: push(Value::of_ref(intern_pool_string(static_cast<uint16_t>(in.arg)))); break;
-
-        case Op::ILOAD:
-        case Op::DLOAD:
-        case Op::ALOAD: push(f.locals[in.arg]); break;
-        case Op::ISTORE:
-        case Op::DSTORE:
-        case Op::ASTORE: f.locals[in.arg] = pop(); break;
-
-        case Op::POP: f.ostack.pop_back(); break;
-        case Op::DUP: push(f.ostack.back()); break;
-        case Op::SWAP: std::swap(f.ostack[f.ostack.size() - 1], f.ostack[f.ostack.size() - 2]); break;
-
-        case Op::IADD: { int64_t b = pop().i, a = pop().i; push(Value::of_i64(a + b)); break; }
-        case Op::ISUB: { int64_t b = pop().i, a = pop().i; push(Value::of_i64(a - b)); break; }
-        case Op::IMUL: { int64_t b = pop().i, a = pop().i; push(Value::of_i64(a * b)); break; }
-        case Op::IDIV: {
-          int64_t b = pop().i, a = pop().i;
-          if (b == 0) THROW_GUEST(bc::builtin::kArithmetic, "/ by zero");
-          // INT64_MIN / -1 wraps to INT64_MIN (Java semantics); negate via
-          // unsigned so the wrap is defined instead of UB.
-          push(Value::of_i64(b == -1 ? static_cast<int64_t>(-static_cast<uint64_t>(a)) : a / b));
-          break;
-        }
-        case Op::IREM: {
-          int64_t b = pop().i, a = pop().i;
-          if (b == 0) THROW_GUEST(bc::builtin::kArithmetic, "% by zero");
-          push(Value::of_i64(b == -1 ? 0 : a % b));
-          break;
-        }
-        // Negate via unsigned so INT64_MIN wraps to itself (Java semantics)
-        // instead of being signed-overflow UB.
-        case Op::INEG: { int64_t a = pop().i; push(Value::of_i64(static_cast<int64_t>(-static_cast<uint64_t>(a)))); break; }
-        case Op::ISHL: { int64_t b = pop().i, a = pop().i; push(Value::of_i64(a << (b & 63))); break; }
-        case Op::ISHR: { int64_t b = pop().i, a = pop().i; push(Value::of_i64(a >> (b & 63))); break; }
-        case Op::IAND: { int64_t b = pop().i, a = pop().i; push(Value::of_i64(a & b)); break; }
-        case Op::IOR: { int64_t b = pop().i, a = pop().i; push(Value::of_i64(a | b)); break; }
-        case Op::IXOR: { int64_t b = pop().i, a = pop().i; push(Value::of_i64(a ^ b)); break; }
-
-        case Op::DADD: { double b = pop().d, a = pop().d; push(Value::of_f64(a + b)); break; }
-        case Op::DSUB: { double b = pop().d, a = pop().d; push(Value::of_f64(a - b)); break; }
-        case Op::DMUL: { double b = pop().d, a = pop().d; push(Value::of_f64(a * b)); break; }
-        case Op::DDIV: { double b = pop().d, a = pop().d; push(Value::of_f64(a / b)); break; }
-        case Op::DNEG: { double a = pop().d; push(Value::of_f64(-a)); break; }
-
-        case Op::I2D: { int64_t a = pop().i; push(Value::of_f64(static_cast<double>(a))); break; }
-        case Op::D2I: { double a = pop().d; push(Value::of_i64(static_cast<int64_t>(a))); break; }
-        case Op::DCMP: {
-          double b = pop().d, a = pop().d;
-          push(Value::of_i64(a < b ? -1 : (a > b ? 1 : 0)));
-          break;
-        }
-
-        case Op::GOTO: f.pc = in.arg; continue;
-        case Op::IFEQ: { if (pop().i == 0) { f.pc = in.arg; continue; } break; }
-        case Op::IFNE: { if (pop().i != 0) { f.pc = in.arg; continue; } break; }
-        case Op::IFLT: { if (pop().i < 0) { f.pc = in.arg; continue; } break; }
-        case Op::IFLE: { if (pop().i <= 0) { f.pc = in.arg; continue; } break; }
-        case Op::IFGT: { if (pop().i > 0) { f.pc = in.arg; continue; } break; }
-        case Op::IFGE: { if (pop().i >= 0) { f.pc = in.arg; continue; } break; }
-        case Op::IF_ICMPEQ: { int64_t b = pop().i, a = pop().i; if (a == b) { f.pc = in.arg; continue; } break; }
-        case Op::IF_ICMPNE: { int64_t b = pop().i, a = pop().i; if (a != b) { f.pc = in.arg; continue; } break; }
-        case Op::IF_ICMPLT: { int64_t b = pop().i, a = pop().i; if (a < b) { f.pc = in.arg; continue; } break; }
-        case Op::IF_ICMPLE: { int64_t b = pop().i, a = pop().i; if (a <= b) { f.pc = in.arg; continue; } break; }
-        case Op::IF_ICMPGT: { int64_t b = pop().i, a = pop().i; if (a > b) { f.pc = in.arg; continue; } break; }
-        case Op::IF_ICMPGE: { int64_t b = pop().i, a = pop().i; if (a >= b) { f.pc = in.arg; continue; } break; }
-        case Op::IFNULL: { if (pop().r == bc::kNull) { f.pc = in.arg; continue; } break; }
-        case Op::IFNONNULL: { if (pop().r != bc::kNull) { f.pc = in.arg; continue; } break; }
-
-        case Op::LOOKUPSWITCH: {
-          int64_t key = pop().i;
-          bc::SwitchInfo si = bc::decode_switch(m.code, pc);
-          uint32_t tgt = si.default_target;
-          for (auto& [k, t] : si.pairs)
-            if (k == key) {
-              tgt = t;
-              break;
-            }
-          f.pc = tgt;
-          continue;
-        }
-
-        case Op::GETFIELD: {
-          const bc::Field& fd = P.field(static_cast<uint16_t>(in.arg));
-          Ref r = pop().r;
-          if (r == bc::kNull || heap_.is_stub(r))
-            THROW_GUEST(bc::builtin::kNullPointer, fd.name);
-          push(heap_.obj(r).fields[fd.slot]);
-          break;
-        }
-        case Op::PUTFIELD: {
-          const bc::Field& fd = P.field(static_cast<uint16_t>(in.arg));
-          Value v = pop();
-          Ref r = pop().r;
-          if (r == bc::kNull || heap_.is_stub(r))
-            THROW_GUEST(bc::builtin::kNullPointer, fd.name);
-          heap_.obj(r).fields[fd.slot] = v;
-          break;
-        }
-        case Op::GETSTATIC: {
-          const bc::Field& fd = P.field(static_cast<uint16_t>(in.arg));
-          ensure_loaded(fd.owner);
-          push(rt_[fd.owner].statics[fd.slot]);
-          break;
-        }
-        case Op::PUTSTATIC: {
-          const bc::Field& fd = P.field(static_cast<uint16_t>(in.arg));
-          ensure_loaded(fd.owner);
-          rt_[fd.owner].statics[fd.slot] = pop();
-          break;
-        }
-
-        case Op::NEW: {
-          uint16_t cid = static_cast<uint16_t>(in.arg);
-          ensure_loaded(cid);
-          Ref r = heap_.alloc_obj(cid, rt_[cid].inst_types);
-          if (r == bc::kNull) THROW_GUEST(bc::builtin::kOutOfMemory, P.cls(cid).name);
-          push(Value::of_ref(r));
-          break;
-        }
-        case Op::NEWARRAY: {
-          int64_t n = pop().i;
-          if (n < 0) THROW_GUEST(bc::builtin::kIndexOutOfBounds, "negative array size");
-          Ref r;
-          switch (static_cast<Ty>(in.arg)) {
-            case Ty::I64: r = heap_.alloc_arr_i(static_cast<size_t>(n)); break;
-            case Ty::F64: r = heap_.alloc_arr_d(static_cast<size_t>(n)); break;
-            case Ty::Ref: r = heap_.alloc_arr_r(static_cast<size_t>(n)); break;
-            default: SOD_UNREACHABLE("bad array type");
-          }
-          if (r == bc::kNull) THROW_GUEST(bc::builtin::kOutOfMemory, "array");
-          push(Value::of_ref(r));
-          break;
-        }
-
-        case Op::IALOAD: {
-          int64_t i = pop().i;
-          Ref r = pop().r;
-          if (r == bc::kNull || heap_.is_stub(r)) THROW_GUEST(bc::builtin::kNullPointer, "iaload");
-          auto& a = heap_.arr_i(r);
-          if (i < 0 || static_cast<size_t>(i) >= a.v.size())
-            THROW_GUEST(bc::builtin::kIndexOutOfBounds, "iaload");
-          push(Value::of_i64(a.v[static_cast<size_t>(i)]));
-          break;
-        }
-        case Op::IASTORE: {
-          int64_t v = pop().i;
-          int64_t i = pop().i;
-          Ref r = pop().r;
-          if (r == bc::kNull || heap_.is_stub(r)) THROW_GUEST(bc::builtin::kNullPointer, "iastore");
-          auto& a = heap_.arr_i(r);
-          if (i < 0 || static_cast<size_t>(i) >= a.v.size())
-            THROW_GUEST(bc::builtin::kIndexOutOfBounds, "iastore");
-          a.v[static_cast<size_t>(i)] = v;
-          break;
-        }
-        case Op::DALOAD: {
-          int64_t i = pop().i;
-          Ref r = pop().r;
-          if (r == bc::kNull || heap_.is_stub(r)) THROW_GUEST(bc::builtin::kNullPointer, "daload");
-          auto& a = heap_.arr_d(r);
-          if (i < 0 || static_cast<size_t>(i) >= a.v.size())
-            THROW_GUEST(bc::builtin::kIndexOutOfBounds, "daload");
-          push(Value::of_f64(a.v[static_cast<size_t>(i)]));
-          break;
-        }
-        case Op::DASTORE: {
-          double v = pop().d;
-          int64_t i = pop().i;
-          Ref r = pop().r;
-          if (r == bc::kNull || heap_.is_stub(r)) THROW_GUEST(bc::builtin::kNullPointer, "dastore");
-          auto& a = heap_.arr_d(r);
-          if (i < 0 || static_cast<size_t>(i) >= a.v.size())
-            THROW_GUEST(bc::builtin::kIndexOutOfBounds, "dastore");
-          a.v[static_cast<size_t>(i)] = v;
-          break;
-        }
-        case Op::AALOAD: {
-          int64_t i = pop().i;
-          Ref r = pop().r;
-          if (r == bc::kNull || heap_.is_stub(r)) THROW_GUEST(bc::builtin::kNullPointer, "aaload");
-          auto& a = heap_.arr_r(r);
-          if (i < 0 || static_cast<size_t>(i) >= a.v.size())
-            THROW_GUEST(bc::builtin::kIndexOutOfBounds, "aaload");
-          push(Value::of_ref(a.v[static_cast<size_t>(i)]));
-          break;
-        }
-        case Op::AASTORE: {
-          Ref v = pop().r;
-          int64_t i = pop().i;
-          Ref r = pop().r;
-          if (r == bc::kNull || heap_.is_stub(r)) THROW_GUEST(bc::builtin::kNullPointer, "aastore");
-          auto& a = heap_.arr_r(r);
-          if (i < 0 || static_cast<size_t>(i) >= a.v.size())
-            THROW_GUEST(bc::builtin::kIndexOutOfBounds, "aastore");
-          a.v[static_cast<size_t>(i)] = v;
-          break;
-        }
-        case Op::ARRAYLEN: {
-          Ref r = pop().r;
-          if (r == bc::kNull || heap_.is_stub(r)) THROW_GUEST(bc::builtin::kNullPointer, "arraylen");
-          const Cell& c = heap_.cell(r);
-          size_t n = 0;
-          if (const auto* ai = std::get_if<ArrICell>(&c)) n = ai->v.size();
-          else if (const auto* ad = std::get_if<ArrDCell>(&c)) n = ad->v.size();
-          else if (const auto* ar = std::get_if<ArrRCell>(&c)) n = ar->v.size();
-          else if (const auto* s = std::get_if<StrCell>(&c)) n = s->s.size();
-          else SOD_UNREACHABLE("arraylen of non-array");
-          push(Value::of_i64(static_cast<int64_t>(n)));
-          break;
-        }
-
-        case Op::INVOKE: {
-          uint16_t mid = static_cast<uint16_t>(in.arg);
-          const Method& callee = P.method(mid);
-          SOD_CHECK(!callee.code.empty(), "invoke of bodyless method " + callee.name);
-          if (th.frames.size() >= cfg_.max_frames)
-            SOD_UNREACHABLE("guest stack overflow in " + callee.name);
-          ensure_loaded(callee.owner);
-          f.pc = next;  // return address
-          Frame nf = make_frame(mid);
-          for (size_t i = callee.params.size(); i-- > 0;) {
-            nf.locals[i] = f.ostack.back();
-            f.ostack.pop_back();
-          }
-          th.frames.push_back(std::move(nf));
-          continue;
-        }
-
-        case Op::INVOKENATIVE: {
-          const bc::NativeDecl& nd = P.natives[in.arg];
-          const NativeFn* fn = natives_ ? natives_->find(nd.name) : nullptr;
-          SOD_CHECK(fn, "unbound native: " + nd.name);
-          size_t np = nd.params.size();
-          std::vector<Value> args(np);
-          for (size_t i = np; i-- > 0;) {
-            args[i] = f.ostack.back();
-            f.ostack.pop_back();
-          }
-          native_frame_ = &f;
-          native_tid_ = th.id;
-          Value ret = (*fn)(*this, args);
-          native_frame_ = nullptr;
-          native_tid_ = -1;
-          if (pending_) goto handle_pending;
-          if (nd.ret != Ty::Void) {
-            SOD_CHECK(ret.tag == nd.ret, "native returned wrong type: " + nd.name);
-            // Re-acquire the frame: the native may have grown this thread's
-            // heap but frames vector is stable (natives cannot push frames).
-            th.frames.back().ostack.push_back(ret);
-          }
-          f.pc = next;
-          continue;
-        }
-
-        case Op::RETURN:
-        case Op::IRETURN:
-        case Op::DRETURN:
-        case Op::ARETURN: {
-          Value rv{};
-          bool has = in.op != Op::RETURN;
-          if (has) rv = pop();
-          th.frames.pop_back();
-          if (th.frames.empty()) {
-            th.status = ThreadStatus::Done;
-            th.result = rv;
-            return {StopReason::Done, executed};
-          }
-          if (has) th.frames.back().ostack.push_back(rv);
-          continue;
-        }
-
-        case Op::THROW: {
-          Ref ex = pop().r;
-          if (ex == bc::kNull || heap_.is_stub(ex))
-            THROW_GUEST(bc::builtin::kNullPointer, "throw null");
-          if (!dispatch_exception(th, ex, pc)) return {StopReason::Crashed, executed};
-          continue;
-        }
-
-        case Op::kOpCount_: SOD_UNREACHABLE("bad opcode");
-      }
-      f.pc = next;
-      continue;
+  if (pause_req_) {
+    pause_req_ = false;
+    return {StopReason::Trap, executed};
+  }
+  if (debug_) {
+    if (!th.resume_skip_bp && bps_.count(bp_key(f->method, pc))) {
+      th.resume_skip_bp = true;
+      return {StopReason::Breakpoint, executed};
     }
+    th.resume_skip_bp = false;
+    if (safepoint_req_ && m->is_stmt_start(pc) && f->ostack.empty()) {
+      return {StopReason::SafePoint, executed};
+    }
+  }
 
-  handle_pending : {
-    SOD_CHECK(pending_, "handle_pending without pending exception");
-    pending_ = false;
-    Ref ex = make_exception(pending_cls_, pending_msg_);
-    Frame& f = th.frames.back();
-    if (!dispatch_exception(th, ex, f.pc)) return {StopReason::Crashed, executed};
-    continue;
+  in = bc::decode(m->code, pc);
+  next = pc + in.size;
+  ++executed;
+  ++instrs_;
+
+#if SOD_COMPUTED_GOTO
+  goto* kJump[static_cast<size_t>(in.op)];
+#else
+  switch (in.op) {
+#endif
+
+  VM_LABEL(NOP) : VM_NEXT();
+
+  VM_LABEL(ICONST) : push(Value::of_i64(in.imm_i)); VM_NEXT();
+  VM_LABEL(DCONST) : push(Value::of_f64(in.imm_d)); VM_NEXT();
+  VM_LABEL(ACONST_NULL) : push(Value::null()); VM_NEXT();
+  VM_LABEL(LDC_STR) : push(Value::of_ref(intern_pool_string(static_cast<uint16_t>(in.arg)))); VM_NEXT();
+
+  VM_LABEL(ILOAD) :
+  VM_LABEL(DLOAD) :
+  VM_LABEL(ALOAD) : push(f->locals[in.arg]); VM_NEXT();
+  VM_LABEL(ISTORE) :
+  VM_LABEL(DSTORE) :
+  VM_LABEL(ASTORE) : f->locals[in.arg] = pop(); VM_NEXT();
+
+  VM_LABEL(POP) : f->ostack.pop_back(); VM_NEXT();
+  VM_LABEL(DUP) : push(f->ostack.back()); VM_NEXT();
+  VM_LABEL(SWAP) : std::swap(f->ostack[f->ostack.size() - 1], f->ostack[f->ostack.size() - 2]); VM_NEXT();
+
+  VM_LABEL(IADD) : { int64_t b = pop().i, a = pop().i; push(Value::of_i64(a + b)); VM_NEXT(); }
+  VM_LABEL(ISUB) : { int64_t b = pop().i, a = pop().i; push(Value::of_i64(a - b)); VM_NEXT(); }
+  VM_LABEL(IMUL) : { int64_t b = pop().i, a = pop().i; push(Value::of_i64(a * b)); VM_NEXT(); }
+  VM_LABEL(IDIV) : {
+    int64_t b = pop().i, a = pop().i;
+    if (b == 0) THROW_GUEST(bc::builtin::kArithmetic, "/ by zero");
+    // INT64_MIN / -1 wraps to INT64_MIN (Java semantics); negate via
+    // unsigned so the wrap is defined instead of UB.
+    push(Value::of_i64(b == -1 ? static_cast<int64_t>(-static_cast<uint64_t>(a)) : a / b));
+    VM_NEXT();
   }
+  VM_LABEL(IREM) : {
+    int64_t b = pop().i, a = pop().i;
+    if (b == 0) THROW_GUEST(bc::builtin::kArithmetic, "% by zero");
+    push(Value::of_i64(b == -1 ? 0 : a % b));
+    VM_NEXT();
   }
+  // Negate via unsigned so INT64_MIN wraps to itself (Java semantics)
+  // instead of being signed-overflow UB.
+  VM_LABEL(INEG) : { int64_t a = pop().i; push(Value::of_i64(static_cast<int64_t>(-static_cast<uint64_t>(a)))); VM_NEXT(); }
+  VM_LABEL(ISHL) : { int64_t b = pop().i, a = pop().i; push(Value::of_i64(a << (b & 63))); VM_NEXT(); }
+  VM_LABEL(ISHR) : { int64_t b = pop().i, a = pop().i; push(Value::of_i64(a >> (b & 63))); VM_NEXT(); }
+  VM_LABEL(IAND) : { int64_t b = pop().i, a = pop().i; push(Value::of_i64(a & b)); VM_NEXT(); }
+  VM_LABEL(IOR) : { int64_t b = pop().i, a = pop().i; push(Value::of_i64(a | b)); VM_NEXT(); }
+  VM_LABEL(IXOR) : { int64_t b = pop().i, a = pop().i; push(Value::of_i64(a ^ b)); VM_NEXT(); }
+
+  VM_LABEL(DADD) : { double b = pop().d, a = pop().d; push(Value::of_f64(a + b)); VM_NEXT(); }
+  VM_LABEL(DSUB) : { double b = pop().d, a = pop().d; push(Value::of_f64(a - b)); VM_NEXT(); }
+  VM_LABEL(DMUL) : { double b = pop().d, a = pop().d; push(Value::of_f64(a * b)); VM_NEXT(); }
+  VM_LABEL(DDIV) : { double b = pop().d, a = pop().d; push(Value::of_f64(a / b)); VM_NEXT(); }
+  VM_LABEL(DNEG) : { double a = pop().d; push(Value::of_f64(-a)); VM_NEXT(); }
+
+  VM_LABEL(I2D) : { int64_t a = pop().i; push(Value::of_f64(static_cast<double>(a))); VM_NEXT(); }
+  VM_LABEL(D2I) : { double a = pop().d; push(Value::of_i64(static_cast<int64_t>(a))); VM_NEXT(); }
+  VM_LABEL(DCMP) : {
+    double b = pop().d, a = pop().d;
+    push(Value::of_i64(a < b ? -1 : (a > b ? 1 : 0)));
+    VM_NEXT();
+  }
+
+  VM_LABEL(GOTO) : VM_JUMP(in.arg);
+  VM_LABEL(IFEQ) : { if (pop().i == 0) VM_JUMP(in.arg); VM_NEXT(); }
+  VM_LABEL(IFNE) : { if (pop().i != 0) VM_JUMP(in.arg); VM_NEXT(); }
+  VM_LABEL(IFLT) : { if (pop().i < 0) VM_JUMP(in.arg); VM_NEXT(); }
+  VM_LABEL(IFLE) : { if (pop().i <= 0) VM_JUMP(in.arg); VM_NEXT(); }
+  VM_LABEL(IFGT) : { if (pop().i > 0) VM_JUMP(in.arg); VM_NEXT(); }
+  VM_LABEL(IFGE) : { if (pop().i >= 0) VM_JUMP(in.arg); VM_NEXT(); }
+  VM_LABEL(IF_ICMPEQ) : { int64_t b = pop().i, a = pop().i; if (a == b) VM_JUMP(in.arg); VM_NEXT(); }
+  VM_LABEL(IF_ICMPNE) : { int64_t b = pop().i, a = pop().i; if (a != b) VM_JUMP(in.arg); VM_NEXT(); }
+  VM_LABEL(IF_ICMPLT) : { int64_t b = pop().i, a = pop().i; if (a < b) VM_JUMP(in.arg); VM_NEXT(); }
+  VM_LABEL(IF_ICMPLE) : { int64_t b = pop().i, a = pop().i; if (a <= b) VM_JUMP(in.arg); VM_NEXT(); }
+  VM_LABEL(IF_ICMPGT) : { int64_t b = pop().i, a = pop().i; if (a > b) VM_JUMP(in.arg); VM_NEXT(); }
+  VM_LABEL(IF_ICMPGE) : { int64_t b = pop().i, a = pop().i; if (a >= b) VM_JUMP(in.arg); VM_NEXT(); }
+  VM_LABEL(IFNULL) : { if (pop().r == bc::kNull) VM_JUMP(in.arg); VM_NEXT(); }
+  VM_LABEL(IFNONNULL) : { if (pop().r != bc::kNull) VM_JUMP(in.arg); VM_NEXT(); }
+
+  VM_LABEL(LOOKUPSWITCH) : {
+    int64_t key = pop().i;
+    bc::SwitchInfo si = bc::decode_switch(m->code, pc);
+    uint32_t tgt = si.default_target;
+    for (auto& [k, t] : si.pairs)
+      if (k == key) {
+        tgt = t;
+        break;
+      }
+    VM_JUMP(tgt);
+  }
+
+  VM_LABEL(GETFIELD) : {
+    const bc::Field& fd = P.field(static_cast<uint16_t>(in.arg));
+    Ref r = pop().r;
+    if (r == bc::kNull || heap_.is_stub(r))
+      THROW_GUEST(bc::builtin::kNullPointer, fd.name);
+    push(heap_.obj(r).fields[fd.slot]);
+    VM_NEXT();
+  }
+  VM_LABEL(PUTFIELD) : {
+    const bc::Field& fd = P.field(static_cast<uint16_t>(in.arg));
+    Value v = pop();
+    Ref r = pop().r;
+    if (r == bc::kNull || heap_.is_stub(r))
+      THROW_GUEST(bc::builtin::kNullPointer, fd.name);
+    heap_.obj(r).fields[fd.slot] = v;
+    VM_NEXT();
+  }
+  VM_LABEL(GETSTATIC) : {
+    const bc::Field& fd = P.field(static_cast<uint16_t>(in.arg));
+    ensure_loaded(fd.owner);
+    push(rt_[fd.owner].statics[fd.slot]);
+    VM_NEXT();
+  }
+  VM_LABEL(PUTSTATIC) : {
+    const bc::Field& fd = P.field(static_cast<uint16_t>(in.arg));
+    ensure_loaded(fd.owner);
+    rt_[fd.owner].statics[fd.slot] = pop();
+    VM_NEXT();
+  }
+
+  VM_LABEL(NEW) : {
+    uint16_t cid = static_cast<uint16_t>(in.arg);
+    ensure_loaded(cid);
+    Ref r = heap_.alloc_obj(cid, rt_[cid].inst_types);
+    if (r == bc::kNull) THROW_GUEST(bc::builtin::kOutOfMemory, P.cls(cid).name);
+    push(Value::of_ref(r));
+    VM_NEXT();
+  }
+  VM_LABEL(NEWARRAY) : {
+    int64_t n = pop().i;
+    if (n < 0) THROW_GUEST(bc::builtin::kIndexOutOfBounds, "negative array size");
+    Ref r;
+    switch (static_cast<Ty>(in.arg)) {
+      case Ty::I64: r = heap_.alloc_arr_i(static_cast<size_t>(n)); break;
+      case Ty::F64: r = heap_.alloc_arr_d(static_cast<size_t>(n)); break;
+      case Ty::Ref: r = heap_.alloc_arr_r(static_cast<size_t>(n)); break;
+      default: SOD_UNREACHABLE("bad array type");
+    }
+    if (r == bc::kNull) THROW_GUEST(bc::builtin::kOutOfMemory, "array");
+    push(Value::of_ref(r));
+    VM_NEXT();
+  }
+
+  VM_LABEL(IALOAD) : {
+    int64_t i = pop().i;
+    Ref r = pop().r;
+    if (r == bc::kNull || heap_.is_stub(r)) THROW_GUEST(bc::builtin::kNullPointer, "iaload");
+    auto& a = heap_.arr_i(r);
+    if (i < 0 || static_cast<size_t>(i) >= a.v.size())
+      THROW_GUEST(bc::builtin::kIndexOutOfBounds, "iaload");
+    push(Value::of_i64(a.v[static_cast<size_t>(i)]));
+    VM_NEXT();
+  }
+  VM_LABEL(IASTORE) : {
+    int64_t v = pop().i;
+    int64_t i = pop().i;
+    Ref r = pop().r;
+    if (r == bc::kNull || heap_.is_stub(r)) THROW_GUEST(bc::builtin::kNullPointer, "iastore");
+    auto& a = heap_.arr_i(r);
+    if (i < 0 || static_cast<size_t>(i) >= a.v.size())
+      THROW_GUEST(bc::builtin::kIndexOutOfBounds, "iastore");
+    a.v[static_cast<size_t>(i)] = v;
+    VM_NEXT();
+  }
+  VM_LABEL(DALOAD) : {
+    int64_t i = pop().i;
+    Ref r = pop().r;
+    if (r == bc::kNull || heap_.is_stub(r)) THROW_GUEST(bc::builtin::kNullPointer, "daload");
+    auto& a = heap_.arr_d(r);
+    if (i < 0 || static_cast<size_t>(i) >= a.v.size())
+      THROW_GUEST(bc::builtin::kIndexOutOfBounds, "daload");
+    push(Value::of_f64(a.v[static_cast<size_t>(i)]));
+    VM_NEXT();
+  }
+  VM_LABEL(DASTORE) : {
+    double v = pop().d;
+    int64_t i = pop().i;
+    Ref r = pop().r;
+    if (r == bc::kNull || heap_.is_stub(r)) THROW_GUEST(bc::builtin::kNullPointer, "dastore");
+    auto& a = heap_.arr_d(r);
+    if (i < 0 || static_cast<size_t>(i) >= a.v.size())
+      THROW_GUEST(bc::builtin::kIndexOutOfBounds, "dastore");
+    a.v[static_cast<size_t>(i)] = v;
+    VM_NEXT();
+  }
+  VM_LABEL(AALOAD) : {
+    int64_t i = pop().i;
+    Ref r = pop().r;
+    if (r == bc::kNull || heap_.is_stub(r)) THROW_GUEST(bc::builtin::kNullPointer, "aaload");
+    auto& a = heap_.arr_r(r);
+    if (i < 0 || static_cast<size_t>(i) >= a.v.size())
+      THROW_GUEST(bc::builtin::kIndexOutOfBounds, "aaload");
+    push(Value::of_ref(a.v[static_cast<size_t>(i)]));
+    VM_NEXT();
+  }
+  VM_LABEL(AASTORE) : {
+    Ref v = pop().r;
+    int64_t i = pop().i;
+    Ref r = pop().r;
+    if (r == bc::kNull || heap_.is_stub(r)) THROW_GUEST(bc::builtin::kNullPointer, "aastore");
+    auto& a = heap_.arr_r(r);
+    if (i < 0 || static_cast<size_t>(i) >= a.v.size())
+      THROW_GUEST(bc::builtin::kIndexOutOfBounds, "aastore");
+    a.v[static_cast<size_t>(i)] = v;
+    VM_NEXT();
+  }
+  VM_LABEL(ARRAYLEN) : {
+    Ref r = pop().r;
+    if (r == bc::kNull || heap_.is_stub(r)) THROW_GUEST(bc::builtin::kNullPointer, "arraylen");
+    const Cell& c = heap_.cell(r);
+    size_t n = 0;
+    if (const auto* ai = std::get_if<ArrICell>(&c)) n = ai->v.size();
+    else if (const auto* ad = std::get_if<ArrDCell>(&c)) n = ad->v.size();
+    else if (const auto* ar = std::get_if<ArrRCell>(&c)) n = ar->v.size();
+    else if (const auto* s = std::get_if<StrCell>(&c)) n = s->s.size();
+    else SOD_UNREACHABLE("arraylen of non-array");
+    push(Value::of_i64(static_cast<int64_t>(n)));
+    VM_NEXT();
+  }
+
+  VM_LABEL(INVOKE) : {
+    uint16_t mid = static_cast<uint16_t>(in.arg);
+    const Method& callee = P.method(mid);
+    SOD_CHECK(!callee.code.empty(), "invoke of bodyless method " + callee.name);
+    if (th.frames.size() >= cfg_.max_frames)
+      SOD_UNREACHABLE("guest stack overflow in " + callee.name);
+    ensure_loaded(callee.owner);
+    f->pc = next;  // return address
+    Frame nf = make_frame(mid);
+    for (size_t i = callee.params.size(); i-- > 0;) {
+      nf.locals[i] = f->ostack.back();
+      f->ostack.pop_back();
+    }
+    th.frames.push_back(std::move(nf));
+    goto vm_top;
+  }
+
+  VM_LABEL(INVOKENATIVE) : {
+    const bc::NativeDecl& nd = P.natives[in.arg];
+    const NativeFn* fn = natives_ ? natives_->find(nd.name) : nullptr;
+    SOD_CHECK(fn, "unbound native: " + nd.name);
+    size_t np = nd.params.size();
+    std::vector<Value> args(np);
+    for (size_t i = np; i-- > 0;) {
+      args[i] = f->ostack.back();
+      f->ostack.pop_back();
+    }
+    native_frame_ = f;
+    native_tid_ = th.id;
+    Value ret = (*fn)(*this, args);
+    native_frame_ = nullptr;
+    native_tid_ = -1;
+    if (pending_) goto handle_pending;
+    if (nd.ret != Ty::Void) {
+      SOD_CHECK(ret.tag == nd.ret, "native returned wrong type: " + nd.name);
+      // Re-acquire the frame: the native may have grown this thread's
+      // heap but frames vector is stable (natives cannot push frames).
+      th.frames.back().ostack.push_back(ret);
+    }
+    f->pc = next;
+    goto vm_top;
+  }
+
+  VM_LABEL(RETURN) :
+  VM_LABEL(IRETURN) :
+  VM_LABEL(DRETURN) :
+  VM_LABEL(ARETURN) : {
+    Value rv{};
+    bool has = in.op != Op::RETURN;
+    if (has) rv = pop();
+    th.frames.pop_back();
+    if (th.frames.empty()) {
+      th.status = ThreadStatus::Done;
+      th.result = rv;
+      return {StopReason::Done, executed};
+    }
+    if (has) th.frames.back().ostack.push_back(rv);
+    goto vm_top;
+  }
+
+  VM_LABEL(THROW) : {
+    Ref ex = pop().r;
+    if (ex == bc::kNull || heap_.is_stub(ex))
+      THROW_GUEST(bc::builtin::kNullPointer, "throw null");
+    if (!dispatch_exception(th, ex, pc)) return {StopReason::Crashed, executed};
+    goto vm_top;
+  }
+
+#if !SOD_COMPUTED_GOTO
+  case Op::kOpCount_: SOD_UNREACHABLE("bad opcode");
+  }
+  SOD_UNREACHABLE("fell out of dispatch switch");
+#endif
+
+handle_pending: {
+  SOD_CHECK(pending_, "handle_pending without pending exception");
+  pending_ = false;
+  Ref ex = make_exception(pending_cls_, pending_msg_);
+  Frame& hf = th.frames.back();
+  if (!dispatch_exception(th, ex, hf.pc)) return {StopReason::Crashed, executed};
+  goto vm_top;
+}
 
 #undef THROW_GUEST
+#undef VM_LABEL
+#undef VM_NEXT
+#undef VM_JUMP
+#if SOD_COMPUTED_GOTO
+#undef VM_DISPATCH_FAST
+#endif
+
+vm_done:
   th.status = ThreadStatus::Done;
   return {StopReason::Done, 0};
 }

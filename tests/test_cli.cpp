@@ -25,6 +25,7 @@ const std::set<std::string> kExpected = {
     "table1", "table2", "table3", "table4", "table5", "table6", "table7",
     "fig1", "fig5", "placement", "elastic", "failover", "checkpoint", "roaming_grid",
     "overhead_components", "ablation_fetch", "ablation_prefetch", "ablation_segments",
+    "wallclock",
     // examples
     "quickstart", "elastic_search", "photo_share", "workflow_roaming"};
 
@@ -133,6 +134,38 @@ TEST(Flags, ParsesCheckpointEveryAndSpeculate) {
   EXPECT_FALSE(parse_scenario_flags({"--checkpoint-every", "0"}, opt, ""));
   EXPECT_FALSE(parse_scenario_flags({"--checkpoint-every", "-5"}, opt, ""));
   EXPECT_FALSE(parse_scenario_flags({"--checkpoint-every", "often"}, opt, ""));
+}
+
+TEST(Flags, ParsesThreadsAndWallclock) {
+  ScenarioOptions opt;
+  EXPECT_EQ(opt.threads, 0);  // unset = one pool thread per worker
+  EXPECT_FALSE(opt.wallclock);
+  ASSERT_TRUE(parse_scenario_flags({"--wallclock"}, opt, ""));
+  EXPECT_TRUE(opt.wallclock);
+  EXPECT_EQ(opt.threads, 0);
+  ScenarioOptions opt2;
+  ASSERT_TRUE(parse_scenario_flags({"--threads", "4"}, opt2, ""));
+  EXPECT_EQ(opt2.threads, 4);
+  EXPECT_TRUE(opt2.wallclock);  // --threads implies --wallclock
+  EXPECT_FALSE(parse_scenario_flags({"--threads"}, opt2, ""));
+  EXPECT_FALSE(parse_scenario_flags({"--threads", "0"}, opt2, ""));
+  EXPECT_FALSE(parse_scenario_flags({"--threads", "257"}, opt2, ""));
+  EXPECT_FALSE(parse_scenario_flags({"--threads", "many"}, opt2, ""));
+}
+
+// The cluster apps must give the same answer on the wall-clock pool as on
+// the virtual-time scheduler (the acceptance path of
+// `sodctl run fib --nodes 4 --threads 4`).
+TEST(ClusterApps, FibRunsOnTheWallClockEngine) {
+  const Scenario* s = ScenarioRegistry::instance().find("fib");
+  ASSERT_NE(s, nullptr);
+  for (int threads : {1, 4}) {
+    ScenarioOptions opt;
+    opt.nodes = 4;
+    opt.threads = threads;
+    opt.wallclock = true;
+    EXPECT_EQ(s->run(opt), 0) << "threads=" << threads;
+  }
 }
 
 // Speculative backups launch from the newest checkpoint, so --speculate

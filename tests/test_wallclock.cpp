@@ -1,0 +1,212 @@
+// Wall-clock engine: the ThreadPool runs lane jobs FIFO and cross-lane
+// jobs genuinely in parallel; the WallClockEngine reproduces the
+// virtual-time Scheduler bit-for-bit where contracted (application
+// results, write-back payload bytes, the completion set) on every Table I
+// app at 1 and 4 pool threads; and a stressed engine — membership churn
+// between rounds plus a mid-round worker loss — still executes every
+// segment exactly once.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "apps/apps.h"
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "cluster/scheduler.h"
+#include "cluster/threadpool.h"
+#include "cluster/wallclock.h"
+#include "prep/prep.h"
+#include "sod/migrate.h"
+#include "testlib.h"
+
+namespace sod::cluster {
+namespace {
+
+using bc::Value;
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, LaneJobsRunInSubmissionOrder) {
+  ThreadPool pool(4);
+  pool.ensure_lane(1);
+  std::vector<int> seen;
+  for (int i = 0; i < 200; ++i)
+    pool.submit(0, [i, &seen] { seen.push_back(i); });  // same lane: no racing writers
+  pool.wait_idle();
+  std::vector<int> want(200);
+  std::iota(want.begin(), want.end(), 0);
+  EXPECT_EQ(seen, want);
+}
+
+TEST(ThreadPool, LanesOverlapAcrossThreads) {
+  ThreadPool pool(2);
+  pool.ensure_lane(2);
+  auto t0 = steady_clock::now();
+  for (size_t lane = 0; lane < 2; ++lane)
+    pool.submit(lane, [] { std::this_thread::sleep_for(milliseconds(100)); });
+  pool.wait_idle();
+  auto ms = std::chrono::duration_cast<milliseconds>(steady_clock::now() - t0).count();
+  // Two 100 ms sleeps on two threads overlap; serial execution would be
+  // >= 200 ms.
+  EXPECT_LT(ms, 190);
+}
+
+TEST(ThreadPool, SingleThreadStillDrainsEveryLane) {
+  ThreadPool pool(1);
+  pool.ensure_lane(3);
+  std::atomic<int> done{0};
+  for (size_t lane = 0; lane < 3; ++lane)
+    for (int j = 0; j < 5; ++j) pool.submit(lane, [&done] { ++done; });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 15);
+}
+
+TEST(ThreadPool, WaitIdleCoversJobsSubmittedByJobs) {
+  ThreadPool pool(2);
+  pool.ensure_lane(2);
+  std::atomic<int> done{0};
+  pool.submit(0, [&] {
+    ++done;
+    pool.submit(1, [&] { ++done; });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 2);
+}
+
+// ------------------------------------------------------------ engine parity
+
+struct AppOutcome {
+  int64_t result = 0;
+  size_t writeback_bytes = 0;
+  // (round, segment, virtual completion ns): fault-free wall runs must
+  // reproduce the Scheduler's virtual completion instants bit for bit.
+  std::multiset<std::tuple<int, int, int64_t>> completions;
+  bool exactly_once = false;
+  bool done = false;
+};
+
+/// The run_table1_app round loop from the CLI driver, on either engine:
+/// threads < 0 = virtual-time Scheduler, threads >= 0 = WallClockEngine
+/// (0 = one pool thread per worker).
+AppOutcome run_app(const apps::AppSpec& spec, int threads) {
+  bc::Program p = spec.build();
+  prep::preprocess_program(p);
+  Cluster c(p);
+  c.add_uniform_workers(3);
+  auto pol = make_policy(PolicyKind::LeastLoaded);
+
+  std::unique_ptr<Scheduler> sched;
+  std::unique_ptr<WallClockEngine> engine;
+  if (threads < 0) {
+    sched = std::make_unique<Scheduler>(c, *pol);
+  } else {
+    WallClockOptions wopt;
+    wopt.threads = threads;
+    engine = std::make_unique<WallClockEngine>(c, *pol, wopt);
+  }
+
+  uint16_t trigger = p.find_method(spec.trigger_method);
+  int depth = std::min(spec.paper_depth, 4);
+  int tid = c.home().vm().spawn(p.find_method(spec.entry), spec.bench_args);
+
+  AppOutcome o;
+  int remaining = c.size();
+  while (remaining > 0 && mig::pause_at_depth(c.home(), tid, trigger, depth)) {
+    int k = std::min(remaining, depth - 1);
+    if (remaining > k) k = std::max(1, depth - 2);
+    auto specs = split_top_frames(k);
+    auto out = engine ? engine->run(tid, specs) : sched->run(tid, specs);
+    c.home().ti().set_debug_enabled(false);
+    o.writeback_bytes += out.writeback_bytes;
+    remaining -= k;
+  }
+  c.home().ti().set_debug_enabled(false);
+  auto rr = c.home().run_guest(tid);
+  o.done = rr.reason == svm::StopReason::Done;
+  if (o.done) o.result = c.home().vm().thread(tid).result.as_i64();
+  const auto& log = engine ? engine->log() : sched->log();
+  for (const Event& e : log)
+    if (e.kind == EventKind::SegmentCompleted) o.completions.emplace(e.round, e.segment, e.at.ns);
+  o.exactly_once = engine ? engine->exactly_once() : sched->exactly_once();
+  return o;
+}
+
+TEST(WallClock, TableOneAppsMatchTheVirtualSchedulerBitForBit) {
+  for (const apps::AppSpec& spec : apps::table1_apps()) {
+    SCOPED_TRACE(spec.name);
+    AppOutcome ref = run_app(spec, -1);
+    ASSERT_TRUE(ref.done);
+    ASSERT_TRUE(ref.exactly_once);
+    ASSERT_FALSE(ref.completions.empty());
+    if (spec.bench_expected != INT64_MIN) {
+      EXPECT_EQ(ref.result, spec.bench_expected);
+    }
+    for (int threads : {1, 4}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      AppOutcome got = run_app(spec, threads);
+      ASSERT_TRUE(got.done);
+      EXPECT_TRUE(got.exactly_once);
+      EXPECT_EQ(got.result, ref.result);
+      EXPECT_EQ(got.writeback_bytes, ref.writeback_bytes);
+      EXPECT_EQ(got.completions, ref.completions);
+    }
+  }
+}
+
+// ------------------------------------------------------------------- stress
+
+TEST(WallClock, ChurnAndMidRoundLossStillExecuteExactlyOnce) {
+  auto p = sod::testing::fib_program();
+  prep::preprocess_program(p);
+  uint16_t fib = p.find_method("Main.fib");
+  Cluster c(p);
+  c.add_uniform_workers(3);
+  auto pol = make_policy(PolicyKind::LeastLoaded);
+  WallClockOptions wopt;
+  wopt.threads = 4;
+  WallClockEngine eng(c, *pol, wopt);
+  eng.fail_after(2);  // deepest-queue worker dies mid round 0
+
+  int tid = c.home().vm().spawn(fib, std::vector<Value>{Value::of_i64(26)});
+  int joiner = -1;
+  for (int r = 0; r < 3; ++r) {
+    ASSERT_TRUE(mig::pause_at_depth(c.home(), tid, fib, 4 + 4));
+    auto out = eng.run(tid, split_top_frames(4));
+    c.home().ti().set_debug_enabled(false);
+    ASSERT_EQ(out.placements.size(), 4u);
+    if (r == 0) joiner = eng.add_worker({"joiner", {}, sim::Link::gigabit()});
+    if (r == 1) eng.drain_worker(joiner);
+  }
+  c.home().ti().set_debug_enabled(false);
+  ASSERT_EQ(c.home().run_guest(tid).reason, svm::StopReason::Done);
+  EXPECT_EQ(c.home().vm().thread(tid).result.as_i64(), sod::testing::fib_ref(26));
+
+  EXPECT_TRUE(eng.exactly_once());
+  EXPECT_EQ(eng.workers_lost(), 1);
+  EXPECT_GE(eng.redispatches(), 1);
+  EXPECT_EQ(eng.completions(), 12);
+  int completed = 0, lost = 0, joined = 0, draining = 0;
+  for (const Event& e : eng.log()) {
+    if (e.kind == EventKind::SegmentCompleted) ++completed;
+    if (e.kind == EventKind::WorkerLost) ++lost;
+    if (e.kind == EventKind::WorkerJoined) ++joined;
+    if (e.kind == EventKind::WorkerDraining) ++draining;
+  }
+  EXPECT_EQ(completed, 12);
+  EXPECT_EQ(lost, 1);
+  EXPECT_EQ(joined, 1);
+  EXPECT_EQ(draining, 1);
+}
+
+}  // namespace
+}  // namespace sod::cluster

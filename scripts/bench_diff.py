@@ -45,9 +45,30 @@ def as_number(cell):
 
 
 def diff_table(name, old, new, threshold):
-    """Yields (kind, message) tuples; kind is 'regression' or 'improvement'."""
+    """Yields (kind, message) tuples; kind is 'regression' or 'improvement'.
+
+    Columns are matched by NAME, not index, so a bench may append or
+    reorder columns without desynchronizing every comparison after the
+    insertion point.  A column present only in the new table (e.g. a
+    freshly added percentile) has no baseline: it is reported as
+    informational and never counted as a regression — it starts gating on
+    the next baseline refresh, when both sides carry it.
+    """
     old_cols = old.get("columns", [])
     new_cols = new.get("columns", [])
+    old_idx = {}
+    for i, col in enumerate(old_cols):
+        if col in old_idx:
+            print(f"bench_diff: {name} has duplicate column '{col}' in the old table; "
+                  "comparisons for it may be wrong", file=sys.stderr)
+        else:
+            old_idx[col] = i
+    added = [c for c in new_cols[1:] if c not in old_idx]
+    if added:
+        print(f"new column (no baseline, informational): {name}: {', '.join(added)}")
+    dropped = [c for c in old_cols[1:] if c not in new_cols]
+    if dropped:
+        print(f"column disappeared: {name}: {', '.join(dropped)}")
     old_rows = {}
     for row in old.get("rows", []):
         if not row:
@@ -68,18 +89,20 @@ def diff_table(name, old, new, threshold):
             continue
         old_row = old_rows[row[0]]
         for i, cell in enumerate(row):
-            if i == 0 or i >= len(old_row) or i >= len(new_cols):
+            if i == 0 or i >= len(new_cols):
                 continue
-            if i < len(old_cols) and old_cols[i] != new_cols[i]:
-                continue  # column set changed; not comparable
-            if new_cols[i].startswith("wall_") or new_cols[i].endswith("_ns"):
+            col = new_cols[i]
+            if col.startswith("wall_") or col.endswith("_ns"):
                 # Wall-clock timings are machine- and load-dependent; only
                 # the virtual-time columns are deterministic enough to gate.
                 continue
-            old_v, new_v = as_number(old_row[i]), as_number(cell)
+            j = old_idx.get(col)
+            if j is None or j >= len(old_row):
+                continue  # no baseline cell for this column
+            old_v, new_v = as_number(old_row[j]), as_number(cell)
             if old_v is None or new_v is None or old_v < 0:
                 continue
-            where = f"{name} [{row[0]}] {new_cols[i]}: {old_row[i]} -> {cell}"
+            where = f"{name} [{row[0]}] {col}: {old_row[j]} -> {cell}"
             if old_v == 0:
                 if new_v > 0:
                     yield "regression", f"{where} (from zero baseline)"

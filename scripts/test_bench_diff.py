@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Self-test for bench_diff.py (stdlib unittest only; CI runs it before
+trusting bench_diff with the real BENCH_*.json artifacts).
+
+    python3 scripts/test_bench_diff.py
+"""
+
+import contextlib
+import io
+import json
+import pathlib
+import sys
+import tempfile
+import unittest
+from unittest import mock
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import bench_diff  # noqa: E402
+
+
+def table(columns, rows):
+    return {"bench": "t", "schema_version": 1, "columns": columns, "rows": rows}
+
+
+def run_diff(old, new, threshold=0.10):
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        found = list(bench_diff.diff_table("BENCH_t.json", old, new, threshold))
+    return found, out.getvalue()
+
+
+class DiffTableTest(unittest.TestCase):
+    def test_identical_tables_are_clean(self):
+        t = table(["cfg", "ms"], [["a", "1.5"], ["b", "2.0"]])
+        found, _ = run_diff(t, t)
+        self.assertEqual(found, [])
+
+    def test_regression_and_improvement_past_threshold(self):
+        old = table(["cfg", "ms"], [["a", "100"], ["b", "100"], ["c", "100"]])
+        new = table(["cfg", "ms"], [["a", "120"], ["b", "85"], ["c", "105"]])
+        found, _ = run_diff(old, new)
+        kinds = {msg.split(" [")[1][0]: kind for kind, msg in found}
+        self.assertEqual(kinds, {"a": "regression", "b": "improvement"})  # c within 10%
+
+    def test_new_columns_are_informational_not_blocking(self):
+        # The percentile-column rollout shape: new table appends p50/p95/p99
+        # with no baseline.  No regression may fire, but the pre-existing
+        # column (wildly regressed) must still gate.
+        old = table(["cfg", "ms"], [["a", "10"]])
+        new = table(["cfg", "ms", "p50 ms", "p99 ms"], [["a", "10", "999", "9999"]])
+        found, out = run_diff(old, new)
+        self.assertEqual(found, [])
+        self.assertIn("new column (no baseline, informational)", out)
+        self.assertIn("p50 ms, p99 ms", out)
+
+    def test_columns_match_by_name_across_reordering(self):
+        # A column inserted in the middle shifts every index after it; the
+        # by-name match must keep comparing ms against ms (regressed), and
+        # treat the inserted column as baseline-less.
+        old = table(["cfg", "ms", "segs"], [["a", "100", "7"]])
+        new = table(["cfg", "p50 ms", "ms", "segs"], [["a", "55", "150", "7"]])
+        found, _ = run_diff(old, new)
+        self.assertEqual(len(found), 1)
+        self.assertEqual(found[0][0], "regression")
+        self.assertIn("ms: 100 -> 150", found[0][1])
+
+    def test_wall_and_ns_columns_are_skipped(self):
+        old = table(["cfg", "wall_ms", "setup_ns"], [["a", "1", "1"]])
+        new = table(["cfg", "wall_ms", "setup_ns"], [["a", "900", "900"]])
+        found, _ = run_diff(old, new)
+        self.assertEqual(found, [])
+
+    def test_zero_baseline_growth_is_a_regression(self):
+        old = table(["cfg", "faults"], [["a", "0"]])
+        new = table(["cfg", "faults"], [["a", "3"]])
+        found, _ = run_diff(old, new)
+        self.assertEqual(found[0][0], "regression")
+        self.assertIn("from zero baseline", found[0][1])
+
+    def test_non_numeric_cells_are_ignored(self):
+        old = table(["cfg", "mode"], [["a", "fast"]])
+        new = table(["cfg", "mode"], [["a", "slow"]])
+        found, _ = run_diff(old, new)
+        self.assertEqual(found, [])
+
+
+class MainTest(unittest.TestCase):
+    def write(self, dir_path, name, tbl):
+        (pathlib.Path(dir_path) / name).write_text(json.dumps(tbl), encoding="utf-8")
+
+    def run_main(self, *argv):
+        out = io.StringIO()
+        with mock.patch.object(sys, "argv", ["bench_diff.py", *argv]):
+            with contextlib.redirect_stdout(out):
+                code = bench_diff.main()
+        return code, out.getvalue()
+
+    def test_strict_gates_only_on_regressions(self):
+        with tempfile.TemporaryDirectory() as old_d, tempfile.TemporaryDirectory() as new_d:
+            self.write(old_d, "BENCH_x.json", table(["cfg", "ms"], [["a", "100"]]))
+            self.write(new_d, "BENCH_x.json", table(["cfg", "ms"], [["a", "200"]]))
+            code, out = self.run_main(old_d, new_d)
+            self.assertEqual(code, 0)  # non-strict always flags, never blocks
+            self.assertIn("REGRESSION", out)
+            code, _ = self.run_main(old_d, new_d, "--strict")
+            self.assertEqual(code, 1)
+
+    def test_new_bench_and_new_columns_pass_strict(self):
+        # First appearance of a bench, and first appearance of percentile
+        # columns on an existing bench: informational even under --strict.
+        with tempfile.TemporaryDirectory() as old_d, tempfile.TemporaryDirectory() as new_d:
+            self.write(old_d, "BENCH_x.json", table(["cfg", "ms"], [["a", "100"]]))
+            self.write(new_d, "BENCH_x.json",
+                       table(["cfg", "ms", "p99 ms"], [["a", "101", "500"]]))
+            self.write(new_d, "BENCH_multitenant.json",
+                       table(["config", "p99 ms"], [["poisson/spec", "1006.159"]]))
+            code, out = self.run_main(old_d, new_d, "--strict")
+            self.assertEqual(code, 0)
+            self.assertIn("new bench (no baseline): BENCH_multitenant.json", out)
+            self.assertIn("new column (no baseline, informational)", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -27,6 +27,15 @@ using bc::Value;
 struct AppSpec {
   std::string name;
   std::function<bc::Program()> build;
+  /// Emit the app's classes into an existing builder with `prefix`
+  /// prepended to every class name (and thus to every qualified method /
+  /// field reference).  Emitting the same app under two prefixes yields
+  /// two fully independent class sets — separate statics, separate
+  /// images — which is how the multi-tenant load generator isolates
+  /// tenants inside one shared program.  build() is emit with an empty
+  /// prefix into a fresh builder.  Entry / trigger names in this spec are
+  /// unprefixed; callers qualify them with the same prefix.
+  std::function<void(bc::ProgramBuilder&, const std::string&)> emit;
 
   std::string entry;                ///< qualified entry method
   std::vector<Value> bench_args;    ///< scaled-down, runs in tests
@@ -47,6 +56,14 @@ AppSpec tsp_app();        ///< travelling salesman B&B (n=12, h=4, F~2500)
 
 /// All four Table I apps in declaration order.
 std::vector<AppSpec> table1_apps();
+
+/// Prefix-parameterized emitters behind AppSpec::emit (exposed so callers
+/// can compose several apps — or several tenants' copies of one app —
+/// into a single program).
+void emit_fib(bc::ProgramBuilder& pb, const std::string& prefix);
+void emit_nqueens(bc::ProgramBuilder& pb, const std::string& prefix);
+void emit_fft(bc::ProgramBuilder& pb, const std::string& prefix);
+void emit_tsp(bc::ProgramBuilder& pb, const std::string& prefix);
 
 /// Document search over the simulated fs (Section IV.C): searches `nfiles`
 /// files named "doc0".."docN" for a needle; returns hit count.

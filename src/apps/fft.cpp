@@ -14,10 +14,18 @@ namespace {
 
 bc::Program build_fft() {
   bc::ProgramBuilder pb;
+  emit_fft(pb, "");
+  return pb.build();
+}
+
+}  // namespace
+
+void emit_fft(bc::ProgramBuilder& pb, const std::string& prefix) {
+  auto q = [&](const char* s) { return prefix + s; };
   pb.native("math.sin", {Ty::F64}, Ty::F64);
   pb.native("math.cos", {Ty::F64}, Ty::F64);
 
-  auto& cls = pb.cls("FFT");
+  auto& cls = pb.cls(q("FFT"));
   cls.field("re", Ty::Ref, /*is_static=*/true);
   cls.field("im", Ty::Ref, /*is_static=*/true);
   cls.field("workspace", Ty::Ref, /*is_static=*/true);  // the 64 MB anchor
@@ -25,9 +33,9 @@ bc::Program build_fft() {
   // init(n, ws): allocate n*n grids and the big workspace (ws doubles).
   {
     auto& f = cls.method("init", {{"n", Ty::I64}, {"ws", Ty::I64}}, Ty::Void);
-    f.stmt().iload("n").iload("n").imul().newarray(Ty::F64).putstatic("FFT.re");
-    f.stmt().iload("n").iload("n").imul().newarray(Ty::F64).putstatic("FFT.im");
-    f.stmt().iload("ws").newarray(Ty::F64).putstatic("FFT.workspace");
+    f.stmt().iload("n").iload("n").imul().newarray(Ty::F64).putstatic(q("FFT.re"));
+    f.stmt().iload("n").iload("n").imul().newarray(Ty::F64).putstatic(q("FFT.im"));
+    f.stmt().iload("ws").newarray(Ty::F64).putstatic(q("FFT.workspace"));
     f.stmt().ret();
   }
 
@@ -55,8 +63,8 @@ bc::Program build_fft() {
     uint16_t ib = f.local("ib", Ty::I64);
     uint16_t tmp = f.local("tmp", Ty::F64);
 
-    f.stmt().getstatic("FFT.re").astore(re);
-    f.stmt().getstatic("FFT.im").astore(im);
+    f.stmt().getstatic(q("FFT.re")).astore(re);
+    f.stmt().getstatic(q("FFT.im")).astore(im);
 
     // --- bit-reversal permutation ---
     bc::Label rev_loop = f.label(), rev_done = f.label(), bit_loop = f.label(),
@@ -142,12 +150,12 @@ bc::Program build_fft() {
     f.stmt().iconst(0).istore(r);
     f.bind(rl).stmt().iload(r).iload("n").if_icmpge(rd);
     f.stmt().iload(r).iload("n").imul().iload("n").iconst(1).iload("sign")
-        .invoke("FFT.fft1d");
+        .invoke(q("FFT.fft1d"));
     f.stmt().iload(r).iconst(1).iadd().istore(r);
     f.stmt().go(rl);
     f.bind(rd).stmt().iconst(0).istore(r);
     f.bind(cl).stmt().iload(r).iload("n").if_icmpge(cd);
-    f.stmt().iload(r).iload("n").iload("n").iload("sign").invoke("FFT.fft1d");
+    f.stmt().iload(r).iload("n").iload("n").iload("sign").invoke(q("FFT.fft1d"));
     f.stmt().iload(r).iconst(1).iadd().istore(r);
     f.stmt().go(cl);
     f.bind(cd).stmt().ret();
@@ -160,21 +168,21 @@ bc::Program build_fft() {
     uint16_t total = f.local("total", Ty::I64);
     uint16_t s = f.local("s", Ty::F64);
     bc::Label fl = f.label(), fd = f.label(), sl = f.label(), sd = f.label();
-    f.stmt().iload("n").iload("ws").invoke("FFT.init");
+    f.stmt().iload("n").iload("ws").invoke(q("FFT.init"));
     f.stmt().iload("n").iload("n").imul().istore(total);
     f.stmt().iconst(0).istore(i);
     f.bind(fl).stmt().iload(i).iload(total).if_icmpge(fd);
-    f.stmt().getstatic("FFT.re").iload(i)
+    f.stmt().getstatic(q("FFT.re")).iload(i)
         .iload(i).iconst(7).imul().iconst(31).iadd().iconst(101).irem().i2d()
         .dastore();
     f.stmt().iload(i).iconst(1).iadd().istore(i);
     f.stmt().go(fl);
-    f.bind(fd).stmt().iload("n").iconst(1).invoke("FFT.fft2d");
+    f.bind(fd).stmt().iload("n").iconst(1).invoke(q("FFT.fft2d"));
     // checksum = sum |re| rounded
     f.stmt().dconst(0).dstore(s);
     f.stmt().iconst(0).istore(i);
     f.bind(sl).stmt().iload(i).iload(total).if_icmpge(sd);
-    f.stmt().dload(s).getstatic("FFT.re").iload(i).daload().dadd().dstore(s);
+    f.stmt().dload(s).getstatic(q("FFT.re")).iload(i).daload().dadd().dstore(s);
     f.stmt().iload(i).iconst(1).iadd().istore(i);
     f.stmt().go(sl);
     f.bind(sd).stmt().dload(s).d2i().iret();
@@ -184,18 +192,16 @@ bc::Program build_fft() {
   {
     auto& m = cls.method("main", {{"n", Ty::I64}, {"ws", Ty::I64}}, Ty::I64);
     uint16_t r = m.local("r", Ty::I64);
-    m.stmt().iload("n").iload("ws").invoke("FFT.run").istore(r);
+    m.stmt().iload("n").iload("ws").invoke(q("FFT.run")).istore(r);
     m.stmt().iload(r).iret();
   }
-  return pb.build();
 }
-
-}  // namespace
 
 AppSpec fft_app() {
   AppSpec s;
   s.name = "FFT";
   s.build = build_fft;
+  s.emit = emit_fft;
   s.entry = "FFT.main";
   // Bench scale: 16x16 grid, small workspace; checksum is
   // sum(re) == n*n*mean == sum of inputs (DC term dominates conservation

@@ -7,22 +7,7 @@ namespace {
 
 bc::Program build_fib() {
   bc::ProgramBuilder pb;
-  auto& cls = pb.cls("Fib");
-  auto& f = cls.method("fib", {{"n", Ty::I64}}, Ty::I64);
-  bc::Label rec = f.label();
-  f.stmt().iload("n").iconst(2).if_icmpge(rec);
-  f.stmt().iload("n").iret();
-  f.bind(rec);
-  uint16_t a = f.local("a", Ty::I64);
-  uint16_t b = f.local("b", Ty::I64);
-  f.stmt().iload("n").iconst(1).isub().invoke("Fib.fib").istore(a);
-  f.stmt().iload("n").iconst(2).isub().invoke("Fib.fib").istore(b);
-  f.stmt().iload(a).iload(b).iadd().iret();
-
-  auto& m = cls.method("main", {{"n", Ty::I64}}, Ty::I64);
-  uint16_t r = m.local("r", Ty::I64);
-  m.stmt().iload("n").invoke("Fib.fib").istore(r);
-  m.stmt().iload(r).iret();
+  emit_fib(pb, "");
   return pb.build();
 }
 
@@ -38,10 +23,31 @@ int64_t fib_value(int64_t n) {
 
 }  // namespace
 
+void emit_fib(bc::ProgramBuilder& pb, const std::string& prefix) {
+  auto q = [&](const char* s) { return prefix + s; };
+  auto& cls = pb.cls(q("Fib"));
+  auto& f = cls.method("fib", {{"n", Ty::I64}}, Ty::I64);
+  bc::Label rec = f.label();
+  f.stmt().iload("n").iconst(2).if_icmpge(rec);
+  f.stmt().iload("n").iret();
+  f.bind(rec);
+  uint16_t a = f.local("a", Ty::I64);
+  uint16_t b = f.local("b", Ty::I64);
+  f.stmt().iload("n").iconst(1).isub().invoke(q("Fib.fib")).istore(a);
+  f.stmt().iload("n").iconst(2).isub().invoke(q("Fib.fib")).istore(b);
+  f.stmt().iload(a).iload(b).iadd().iret();
+
+  auto& m = cls.method("main", {{"n", Ty::I64}}, Ty::I64);
+  uint16_t r = m.local("r", Ty::I64);
+  m.stmt().iload("n").invoke(q("Fib.fib")).istore(r);
+  m.stmt().iload(r).iret();
+}
+
 AppSpec fib_app() {
   AppSpec s;
   s.name = "Fib";
   s.build = build_fib;
+  s.emit = emit_fib;
   s.entry = "Fib.main";
   s.bench_args = {Value::of_i64(24)};
   s.bench_expected = fib_value(24);

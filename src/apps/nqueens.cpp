@@ -8,7 +8,15 @@ namespace {
 
 bc::Program build_nqueens() {
   bc::ProgramBuilder pb;
-  auto& cls = pb.cls("NQ");
+  emit_nqueens(pb, "");
+  return pb.build();
+}
+
+}  // namespace
+
+void emit_nqueens(bc::ProgramBuilder& pb, const std::string& prefix) {
+  auto q = [&](const char* s) { return prefix + s; };
+  auto& cls = pb.cls(q("NQ"));
 
   // solve(n, row, cols, d1, d2) -> number of completions
   auto& f = cls.method("solve",
@@ -44,7 +52,7 @@ bc::Program build_nqueens() {
       .iload("d1").iconst(1).iload(col).iload("row").iadd().ishl().ior()
       .iload("d2").iconst(1).iload(col).iload("row").isub().iload("n").iadd().iconst(1).isub()
           .ishl().ior()
-      .invoke("NQ.solve")
+      .invoke(q("NQ.solve"))
       .istore(sub);
   f.stmt().iload(count).iload(sub).iadd().istore(count);
   f.bind(skip).stmt().iload(col).iconst(1).iadd().istore(col);
@@ -53,17 +61,15 @@ bc::Program build_nqueens() {
 
   auto& m = cls.method("main", {{"n", Ty::I64}}, Ty::I64);
   uint16_t r = m.local("r", Ty::I64);
-  m.stmt().iload("n").iconst(0).iconst(0).iconst(0).iconst(0).invoke("NQ.solve").istore(r);
+  m.stmt().iload("n").iconst(0).iconst(0).iconst(0).iconst(0).invoke(q("NQ.solve")).istore(r);
   m.stmt().iload(r).iret();
-  return pb.build();
 }
-
-}  // namespace
 
 AppSpec nqueens_app() {
   AppSpec s;
   s.name = "NQ";
   s.build = build_nqueens;
+  s.emit = emit_nqueens;
   s.entry = "NQ.main";
   s.bench_args = {Value::of_i64(8)};
   s.bench_expected = 92;

@@ -11,7 +11,15 @@ namespace {
 
 bc::Program build_tsp() {
   bc::ProgramBuilder pb;
-  auto& cls = pb.cls("TSP");
+  emit_tsp(pb, "");
+  return pb.build();
+}
+
+}  // namespace
+
+void emit_tsp(bc::ProgramBuilder& pb, const std::string& prefix) {
+  auto q = [&](const char* s) { return prefix + s; };
+  auto& cls = pb.cls(q("TSP"));
   cls.field("dist", Ty::Ref, /*is_static=*/true);     // n*n flattened i64
   cls.field("visited", Ty::Ref, /*is_static=*/true);  // n flags
   cls.field("best", Ty::I64, /*is_static=*/true);
@@ -24,9 +32,9 @@ bc::Program build_tsp() {
     uint16_t j = f.local("j", Ty::I64);
     uint16_t row = f.local("row", Ty::Ref);
     bc::Label il = f.label(), id = f.label(), jl = f.label(), jd = f.label();
-    f.stmt().iload("n").newarray(Ty::Ref).putstatic("TSP.dist");
-    f.stmt().iload("n").newarray(Ty::I64).putstatic("TSP.visited");
-    f.stmt().iconst(1).iconst(60).ishl().putstatic("TSP.best");
+    f.stmt().iload("n").newarray(Ty::Ref).putstatic(q("TSP.dist"));
+    f.stmt().iload("n").newarray(Ty::I64).putstatic(q("TSP.visited"));
+    f.stmt().iconst(1).iconst(60).ishl().putstatic(q("TSP.best"));
     f.stmt().iconst(0).istore(i);
     f.bind(il).stmt().iload(i).iload("n").if_icmpge(id);
     f.stmt().iload("n").newarray(Ty::I64).astore(row);
@@ -48,7 +56,7 @@ bc::Program build_tsp() {
     f.bind(diag).stmt().aload(row).iload(j).iconst(0).iastore();
     f.bind(stored).stmt().iload(j).iconst(1).iadd().istore(j);
     f.stmt().go(jl);
-    f.bind(jd).stmt().getstatic("TSP.dist").iload(i).aload(row).aastore();
+    f.bind(jd).stmt().getstatic(q("TSP.dist")).iload(i).aload(row).aastore();
     f.stmt().iload(i).iconst(1).iadd().istore(i);
     f.stmt().go(il);
     f.bind(id).stmt().ret();
@@ -68,28 +76,28 @@ bc::Program build_tsp() {
     f.stmt().iload("count").iload("n").if_icmplt(not_leaf);
     f.stmt()
         .iload("cost")
-        .getstatic("TSP.dist").iload("city").aaload().iconst(0).iaload()
+        .getstatic(q("TSP.dist")).iload("city").aaload().iconst(0).iaload()
         .iadd()
         .istore(tour);
-    f.stmt().iload(tour).getstatic("TSP.best").if_icmpge(no_improve);
-    f.stmt().iload(tour).putstatic("TSP.best");
+    f.stmt().iload(tour).getstatic(q("TSP.best")).if_icmpge(no_improve);
+    f.stmt().iload(tour).putstatic(q("TSP.best"));
     f.bind(no_improve).stmt().ret();
     f.bind(not_leaf);
     // prune
-    f.stmt().iload("cost").getstatic("TSP.best").if_icmplt(pruned);
+    f.stmt().iload("cost").getstatic(q("TSP.best")).if_icmplt(pruned);
     f.stmt().ret();
     f.bind(pruned);
     f.stmt().iconst(0).istore(next);
     f.bind(loop).stmt().iload(next).iload("n").if_icmpge(done);
-    f.stmt().getstatic("TSP.visited").iload(next).iaload().ifne(skip);
-    f.stmt().getstatic("TSP.visited").iload(next).iconst(1).iastore();
-    f.stmt().getstatic("TSP.dist")
+    f.stmt().getstatic(q("TSP.visited")).iload(next).iaload().ifne(skip);
+    f.stmt().getstatic(q("TSP.visited")).iload(next).iconst(1).iastore();
+    f.stmt().getstatic(q("TSP.dist"))
         .iload("city").aaload().iload(next).iaload().istore(step);
     f.stmt()
         .iload("n").iload(next).iload("count").iconst(1).iadd()
         .iload("cost").iload(step).iadd()
-        .invoke("TSP.search");
-    f.stmt().getstatic("TSP.visited").iload(next).iconst(0).iastore();
+        .invoke(q("TSP.search"));
+    f.stmt().getstatic(q("TSP.visited")).iload(next).iconst(0).iastore();
     f.bind(skip).stmt().iload(next).iconst(1).iadd().istore(next);
     f.stmt().go(loop);
     f.bind(done).stmt().ret();
@@ -98,26 +106,24 @@ bc::Program build_tsp() {
   // run(n): init + search from city 0; returns best tour.
   {
     auto& f = cls.method("run", {{"n", Ty::I64}}, Ty::I64);
-    f.stmt().iload("n").invoke("TSP.init");
-    f.stmt().getstatic("TSP.visited").iconst(0).iconst(1).iastore();
-    f.stmt().iload("n").iconst(0).iconst(1).iconst(0).invoke("TSP.search");
-    f.stmt().getstatic("TSP.best").iret();
+    f.stmt().iload("n").invoke(q("TSP.init"));
+    f.stmt().getstatic(q("TSP.visited")).iconst(0).iconst(1).iastore();
+    f.stmt().iload("n").iconst(0).iconst(1).iconst(0).invoke(q("TSP.search"));
+    f.stmt().getstatic(q("TSP.best")).iret();
   }
   {
     auto& m = cls.method("main", {{"n", Ty::I64}}, Ty::I64);
     uint16_t r = m.local("r", Ty::I64);
-    m.stmt().iload("n").invoke("TSP.run").istore(r);
+    m.stmt().iload("n").invoke(q("TSP.run")).istore(r);
     m.stmt().iload(r).iret();
   }
-  return pb.build();
 }
-
-}  // namespace
 
 AppSpec tsp_app() {
   AppSpec s;
   s.name = "TSP";
   s.build = build_tsp;
+  s.emit = emit_tsp;
   s.entry = "TSP.main";
   s.bench_args = {Value::of_i64(8)};
   s.bench_expected = INT64_MIN;  // checked against host-side B&B in tests

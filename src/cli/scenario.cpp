@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "cluster/loadgen.h"
 #include "cluster/placement.h"
 #include "support/panic.h"
 #include "support/table.h"
@@ -190,6 +191,33 @@ bool parse_scenario_flags(const std::vector<std::string>& args, ScenarioOptions&
         return false;
       }
       opt.churn = v;
+    } else if (a == "--sessions") {
+      if (!parse_int_flag(args, i, "--sessions", 1, 1000000,
+                          "a session count in 1..1000000", opt.sessions))
+        return false;
+    } else if (a == "--arrival") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "sodctl: --arrival requires a value\n");
+        return false;
+      }
+      opt.arrival = args[++i];
+      if (!cluster::parse_arrival(opt.arrival)) {
+        std::fprintf(stderr, "sodctl: unknown --arrival '%s' (poisson, onoff, soak)\n",
+                     opt.arrival.c_str());
+        return false;
+      }
+    } else if (a == "--seed") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "sodctl: --seed requires a value\n");
+        return false;
+      }
+      char* end = nullptr;
+      long long v = std::strtoll(args[++i].c_str(), &end, 10);
+      if (end == args[i].c_str() || *end != '\0' || v < 0) {
+        bad_value("--seed", args[i], "a non-negative integer");
+        return false;
+      }
+      opt.seed = v;
     } else if (a == "--json") {
       // Accept both `--json out.json` and bare `--json` (default name).
       if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {

@@ -58,6 +58,14 @@ struct ScenarioOptions {
   /// Wall-clock execution with the default thread count (one per worker).
   /// Implied by --threads N.
   bool wallclock = false;
+  /// Session count for trace-driven load scenarios (0 = scenario default).
+  int sessions = 0;
+  /// Arrival process for trace-driven load scenarios ("" = scenario
+  /// default).  Validated spellings: poisson, onoff, soak (see
+  /// cluster::parse_arrival).
+  std::string arrival;
+  /// Trace seed for load scenarios (negative = scenario default).
+  long long seed = -1;
   /// When non-empty, bench scenarios write their result table here as
   /// schema-stable JSON (see Table::json).
   std::string json_path;
@@ -116,7 +124,8 @@ bool maybe_write_json(const ScenarioOptions& opt, const std::string& bench_name,
 /// Shared flag parsing for sodctl and the standalone scenario binaries.
 /// Understands --smoke, --nodes N, --policy P, --churn X, --fail-at N,
 /// --autoscale, --checkpoint-every N, --speculate, --threads N,
-/// --wallclock, --json [path] and collects the rest into opt.extra.
+/// --wallclock, --sessions N, --arrival A, --seed S, --json [path] and
+/// collects the rest into opt.extra.
 /// Returns false on malformed flags (one diagnostic per error on stderr,
 /// quoting the offending token once with the accepted range).
 /// `default_json_name` fills json_path when --json is given without a

@@ -53,6 +53,10 @@ int usage(std::FILE* to) {
                "                            pool (one thread per worker) instead of the\n"
                "                            virtual-time scheduler; results are identical\n"
                "  --threads N               wall-clock pool size (implies --wallclock)\n"
+               "  --sessions N              session count for trace-driven load scenarios\n"
+               "  --arrival A               arrival process for load traces\n"
+               "                            (poisson | onoff | soak)\n"
+               "  --seed S                  trace seed for load scenarios\n"
                "  --json [path]             write the result table as JSON\n");
   return to == stdout ? 0 : 2;
 }

@@ -1,0 +1,385 @@
+#include "cluster/loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/apps.h"
+#include "cluster/placement.h"
+#include "cluster/wallclock.h"
+#include "prep/prep.h"
+#include "sod/migrate.h"
+#include "support/rng.h"
+
+namespace sod::cluster {
+
+const char* arrival_name(ArrivalKind k) {
+  switch (k) {
+    case ArrivalKind::Poisson: return "poisson";
+    case ArrivalKind::OnOff: return "onoff";
+    case ArrivalKind::Soak: return "soak";
+  }
+  return "?";
+}
+
+std::optional<ArrivalKind> parse_arrival(std::string_view s) {
+  if (s == "poisson") return ArrivalKind::Poisson;
+  if (s == "onoff" || s == "on-off") return ArrivalKind::OnOff;
+  if (s == "soak") return ArrivalKind::Soak;
+  return std::nullopt;
+}
+
+namespace {
+
+/// One Table I app at load scale: small enough that a thousand sessions
+/// replay under the sanitizers, big enough that the trigger depth is
+/// reachable and rounds do real work.  `statics` marks apps whose class
+/// statics are mutable workspace (FFT grids, TSP bound/visited): sessions
+/// of such an app serialize per tenant so one session's init can never
+/// clobber another's in-flight state.
+struct LoadApp {
+  apps::AppSpec spec;
+  std::vector<bc::Value> args;
+  bool statics = false;
+};
+
+std::vector<LoadApp> load_apps(bool heavy) {
+  std::vector<LoadApp> v;
+  v.push_back({apps::fib_app(), {bc::Value::of_i64(heavy ? 22 : 16)}, false});
+  v.push_back({apps::nqueens_app(), {bc::Value::of_i64(heavy ? 7 : 6)}, false});
+  v.push_back({apps::fft_app(), {bc::Value::of_i64(8), bc::Value::of_i64(64)}, true});
+  v.push_back({apps::tsp_app(), {bc::Value::of_i64(heavy ? 7 : 6)}, true});
+  return v;
+}
+
+std::string tenant_prefix(int tenant) {
+  std::string s = "t";
+  s += std::to_string(tenant);
+  s += '_';
+  return s;
+}
+
+constexpr int kBurst = 8;  ///< ON-OFF arrivals per ON burst
+
+}  // namespace
+
+Trace make_trace(const TraceConfig& cfg) {
+  Trace tr;
+  tr.cfg = cfg;
+  const int n = std::max(0, cfg.sessions);
+  const int tenants = std::max(1, cfg.tenants);
+  const int napps = std::clamp(cfg.apps, 1, 4);
+  const int64_t mean = std::max<int64_t>(1, cfg.mean_gap.ns);
+  Rng rng(cfg.seed);
+
+  int64_t t = 0;
+  for (int i = 0; i < n; ++i) {
+    int64_t gap = 0;
+    switch (cfg.arrival) {
+      case ArrivalKind::Poisson:
+        // Exponential interarrival; unit() < 1 keeps the log finite.
+        gap = static_cast<int64_t>(-static_cast<double>(mean) * std::log(1.0 - rng.unit()));
+        break;
+      case ArrivalKind::OnOff:
+        // Bursts of kBurst back-to-back arrivals, then a jittered OFF gap
+        // long enough that the backlog drains between bursts.
+        gap = (i > 0 && i % kBurst == 0)
+                  ? mean * 6 + static_cast<int64_t>(rng.below(static_cast<uint64_t>(mean)))
+                  : mean / 16;
+        break;
+      case ArrivalKind::Soak:
+        gap = mean;
+        break;
+    }
+    t += gap;
+    SessionTrace s;
+    s.id = i;
+    s.arrival = VDur::nanos(t);
+    s.tenant = static_cast<int>(rng.below(static_cast<uint64_t>(tenants)));
+    s.app = static_cast<int>(rng.below(static_cast<uint64_t>(napps)));
+    s.rounds = static_cast<int>(rng.range(1, std::max(1, cfg.max_rounds)));
+    tr.sessions.push_back(s);
+  }
+
+  const int joins = cfg.churn > 0 && n > 0
+                        ? std::max(1, static_cast<int>(cfg.churn * static_cast<double>(n)))
+                        : 0;
+  for (int j = 0; j < joins; ++j) {
+    int at = static_cast<int>(static_cast<int64_t>(j + 1) * n / (joins + 1));
+    at = std::clamp(at, 0, n - 1);
+    const int life = std::max(2, n / (2 * (joins + 1)));
+    tr.injections.push_back({Injection::Kind::Join, at, j});
+    tr.injections.push_back({Injection::Kind::Drain, std::min(at + life, n - 1), j});
+  }
+  for (int j = 0; j < cfg.failures && n > 1; ++j) {
+    int at = static_cast<int>(static_cast<int64_t>(j + 1) * n / (cfg.failures + 1));
+    tr.injections.push_back({Injection::Kind::Fail, std::clamp(at, 1, n - 1), -1});
+  }
+  std::stable_sort(tr.injections.begin(), tr.injections.end(),
+                   [](const Injection& a, const Injection& b) {
+                     return a.at_session < b.at_session;
+                   });
+  return tr;
+}
+
+Trace filter_tenant(const Trace& t, int tenant) {
+  Trace out;
+  out.cfg = t.cfg;
+  for (const auto& s : t.sessions)
+    if (s.tenant == tenant) out.sessions.push_back(s);
+  return out;
+}
+
+namespace {
+
+struct SessState {
+  int tid = -1;
+  int rounds_left = 0;
+  int steps = 0;
+  int segments = 0;
+  bool done = false;
+  bool ok = false;
+  VDur first_step{};
+  int64_t result = INT64_MIN;
+  double ms = 0;
+};
+
+}  // namespace
+
+LoadGenResult run_loadgen(const Trace& trace, const LoadGenOptions& opts) {
+  LoadGenResult res;
+  const size_t n = trace.sessions.size();
+  res.sessions = static_cast<int>(n);
+  res.results.assign(n, INT64_MIN);
+  res.session_ms.assign(n, 0.0);
+
+  int tenants = std::max(1, trace.cfg.tenants);
+  for (const auto& s : trace.sessions) tenants = std::max(tenants, s.tenant + 1);
+  res.tenants.resize(static_cast<size_t>(tenants));
+  for (int t = 0; t < tenants; ++t) res.tenants[static_cast<size_t>(t)].tenant = t;
+
+  if (n == 0) {
+    res.all_ok = true;
+    res.exactly_once = true;
+    return res;
+  }
+
+  const auto cat = load_apps(trace.cfg.heavy);
+  const int napps = static_cast<int>(cat.size());
+
+  // Which (tenant, app) class sets the shared program needs.
+  std::vector<bool> used(static_cast<size_t>(tenants * napps), false);
+  std::vector<bool> app_used(static_cast<size_t>(napps), false);
+  for (const auto& s : trace.sessions) {
+    used[static_cast<size_t>(s.tenant * napps + s.app)] = true;
+    app_used[static_cast<size_t>(s.app)] = true;
+  }
+
+  // One shared program: every tenant's apps under that tenant's prefix.
+  // Full class names are what the builder resolves, so two tenants' copies
+  // of one app share nothing — not statics, not images.
+  bc::ProgramBuilder pb;
+  for (int t = 0; t < tenants; ++t)
+    for (int a = 0; a < napps; ++a)
+      if (used[static_cast<size_t>(t * napps + a)])
+        cat[static_cast<size_t>(a)].spec.emit(pb, tenant_prefix(t));
+  bc::Program p = pb.build();
+  prep::preprocess_program(p);
+
+  // Reference results: each app once, alone, on a standalone node.  Every
+  // session of every tenant must reproduce its app's reference bit-exactly
+  // — the shared-cluster run may not change what any tenant computes.
+  std::vector<int64_t> expected(static_cast<size_t>(napps), INT64_MIN);
+  for (int a = 0; a < napps; ++a) {
+    if (!app_used[static_cast<size_t>(a)]) continue;
+    bc::Program rp = cat[static_cast<size_t>(a)].spec.build();
+    prep::preprocess_program(rp);
+    mig::SodNode ref("ref", rp, {});
+    mig::ObjectManager om;
+    om.install(ref);
+    expected[static_cast<size_t>(a)] =
+        ref.call_guest(cat[static_cast<size_t>(a)].spec.entry, cat[static_cast<size_t>(a)].args)
+            .as_i64();
+  }
+
+  Cluster c(p);
+  if (opts.workers.empty())
+    c.add_uniform_workers(4);
+  else
+    for (const auto& w : opts.workers) c.add_worker(w);
+  auto policy = make_policy(opts.policy);
+  Scheduler sched(c, *policy, opts.dispatch);
+  std::unique_ptr<WallClockEngine> engine;
+  if (opts.wallclock) {
+    WallClockOptions wopt;
+    wopt.threads = opts.threads;
+    engine = std::make_unique<WallClockEngine>(c, *policy, wopt);
+  }
+
+  mig::SodNode& home = c.home();
+  std::vector<SessState> st(n);
+  for (size_t i = 0; i < n; ++i) st[i].rounds_left = std::max(0, trace.sessions[i].rounds);
+
+  // Per-(tenant, app) instance lock for statics-bearing apps: holder is the
+  // active session, -1 when free.  The holder is always steppable, so the
+  // picker can never deadlock on these.
+  std::map<int, int> lock;
+  auto lock_key = [&](const SessionTrace& s) { return s.tenant * napps + s.app; };
+  auto blocked = [&](size_t i) {
+    const auto& s = trace.sessions[i];
+    if (!cat[static_cast<size_t>(s.app)].statics) return false;
+    auto it = lock.find(lock_key(s));
+    return it != lock.end() && it->second != static_cast<int>(i);
+  };
+
+  std::map<int, int> surge_ids;  ///< surge index -> worker id
+  auto apply = [&](const Injection& inj) {
+    switch (inj.kind) {
+      case Injection::Kind::Join: {
+        WorkerSpec ws;
+        ws.name = "surge" + std::to_string(inj.surge);
+        surge_ids[inj.surge] = engine ? engine->add_worker(ws) : c.add_worker(ws);
+        ++res.surge_joins;
+        break;
+      }
+      case Injection::Kind::Drain: {
+        auto it = surge_ids.find(inj.surge);
+        if (it == surge_ids.end() || c.state(it->second) != WorkerState::Active) break;
+        if (engine)
+          engine->drain_worker(it->second);
+        else
+          c.drain_worker(it->second);
+        ++res.surge_drains;
+        break;
+      }
+      case Injection::Kind::Fail:
+        // Keep at least two accepting workers alive.  Arming at the very
+        // next completion lands the loss mid-round, while the round's
+        // sibling segments are still queued on the victim.
+        if (c.accepting_size() > 2) {
+          if (engine)
+            engine->fail_after(engine->completions() + 1, -1);
+          else
+            sched.fail_after(sched.completions() + 1, -1);
+          ++res.failures_armed;
+        }
+        break;
+    }
+  };
+
+  size_t next = 0, inj_next = 0;
+  std::vector<int> active;
+  int done_count = 0;
+  auto admit = [&] {
+    while (next < n && trace.sessions[next].arrival.ns <= c.home_now().ns) {
+      while (inj_next < trace.injections.size() &&
+             trace.injections[inj_next].at_session <= static_cast<int>(next))
+        apply(trace.injections[inj_next++]);
+      active.push_back(static_cast<int>(next));
+      ++next;
+    }
+  };
+
+  while (done_count < static_cast<int>(n)) {
+    admit();
+    if (active.empty()) {
+      // Idle until the next arrival instant — the load generator's only
+      // source of clock advancement besides guest execution.
+      home.node().clock.wait_until(trace.sessions[next].arrival);
+      continue;
+    }
+    // Fair step picker: fewest steps first, ties to the oldest session.
+    int pick = -1;
+    for (int s : active) {
+      if (blocked(static_cast<size_t>(s))) continue;
+      if (pick < 0 || st[static_cast<size_t>(s)].steps < st[static_cast<size_t>(pick)].steps)
+        pick = s;
+    }
+    const size_t i = static_cast<size_t>(pick);
+    auto& ss = st[i];
+    const auto& ts = trace.sessions[i];
+    const LoadApp& la = cat[static_cast<size_t>(ts.app)];
+    const std::string pfx = tenant_prefix(ts.tenant);
+
+    if (ss.tid < 0) {
+      if (la.statics) lock[lock_key(ts)] = pick;
+      ss.first_step = c.home_now();
+      ss.tid = home.vm().spawn(p.find_method(pfx + la.spec.entry), la.args);
+    }
+
+    if (ss.rounds_left > 0) {
+      // Split depth is capped by the app's paper stack height: FFT's
+      // trigger lives at depth 3, fib's recursion goes as deep as asked.
+      const int depth = std::min(la.spec.paper_depth, opts.segments_per_round + 4);
+      const int k = std::min(opts.segments_per_round, depth - 1);
+      const uint16_t trig = p.find_method(pfx + la.spec.trigger_method);
+      if (k >= 1 && mig::pause_at_depth(home, ss.tid, trig, depth)) {
+        auto specs = split_top_frames(k);
+        auto out = engine ? engine->run(ss.tid, specs) : sched.run(ss.tid, specs);
+        home.ti().set_debug_enabled(false);
+        (void)out;
+        ss.segments += k;
+        res.segments += k;
+        res.tenants[static_cast<size_t>(ts.tenant)].segments += k;
+        --ss.rounds_left;
+        ++ss.steps;
+        continue;
+      }
+      ss.rounds_left = 0;  // recursion exhausted — finish at home
+    }
+
+    home.ti().set_debug_enabled(false);
+    auto rr = home.run_guest(ss.tid);
+    ss.done = true;
+    ++ss.steps;
+    if (rr.reason == svm::StopReason::Done) {
+      ss.result = home.vm().thread(ss.tid).result.as_i64();
+      ss.ok = ss.result == expected[static_cast<size_t>(ts.app)];
+    }
+    ss.ms = (c.home_now() - ts.arrival).ms();
+    if (la.statics) {
+      auto it = lock.find(lock_key(ts));
+      if (it != lock.end() && it->second == pick) lock.erase(it);
+    }
+    active.erase(std::find(active.begin(), active.end(), pick));
+    ++done_count;
+  }
+
+  bool all_ok = true;
+  for (size_t i = 0; i < n; ++i) {
+    const auto& ts = trace.sessions[i];
+    auto& tn = res.tenants[static_cast<size_t>(ts.tenant)];
+    ++tn.sessions;
+    if (st[i].done) {
+      ++res.completed;
+      ++tn.completed;
+      tn.completion_ms.add(st[i].ms);
+      res.completion_ms.add(st[i].ms);
+      tn.mean_wait_ms += (st[i].first_step - ts.arrival).ms();
+    }
+    all_ok = all_ok && st[i].ok;
+    res.results[i] = st[i].result;
+    res.session_ms[i] = st[i].ms;
+  }
+  for (auto& tn : res.tenants)
+    if (tn.completed > 0) tn.mean_wait_ms /= static_cast<double>(tn.completed);
+  res.all_ok = all_ok && res.completed == res.sessions;
+  res.exactly_once = engine ? engine->exactly_once() : sched.exactly_once();
+  res.redispatched = engine ? engine->redispatches() : sched.redispatches();
+  res.workers_lost = engine ? engine->workers_lost() : sched.workers_lost();
+  if (!engine) {
+    res.resumed = sched.resumes();
+    res.speculated = sched.speculations();
+    res.cancelled = sched.cancellations();
+    res.checkpoints = sched.checkpoints();
+  }
+  res.total_ms = c.home_now().ms();
+  return res;
+}
+
+}  // namespace sod::cluster

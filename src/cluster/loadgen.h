@@ -1,0 +1,187 @@
+// LoadGen — deterministic trace-driven multi-tenant load generation over
+// one shared cluster (the massive-scale scenario suite of the ROADMAP).
+//
+// A *trace* is a seeded arrival schedule: each session picks a Table I
+// app, a tenant, a dispatch-round budget, and a virtual arrival instant
+// drawn from one of three arrival processes (Poisson, ON-OFF bursty,
+// sustained soak), plus deterministic churn/failure injections (surge
+// worker joins with matching drains, mid-trace worker losses) pinned to
+// arrival indices.  The same seed always reproduces the same trace.
+//
+// The generator replays a trace against ONE shared Cluster + Scheduler
+// (or, optionally, the wall-clock engine): every tenant's classes are
+// emitted into a single program under a tenant prefix (AppSpec::emit), so
+// tenants share workers, the home node, placement state, and the event
+// log, while their statics and heap objects stay isolated by class
+// identity — the property the cross-tenant leakage tests pin down.
+// Sessions interleave at dispatch-round granularity through the existing
+// event loop: the step picker is fair (fewest steps first, ties to the
+// oldest session), admission waits are accounted per tenant, and sessions
+// of a statics-bearing app (FFT, TSP) serialize per (tenant, app) — the
+// tenant's app-instance lock — so concurrent sessions can never clobber
+// one another's static workspace.
+//
+// Completion latency is measured arrival -> final result (queueing
+// included) and reduced to exact tail percentiles (support/stats.h
+// Percentiles): p50/p95/p99 are what the bench tables gate on, because
+// the mean hides exactly the tail a million-user service lives or dies
+// by.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/placement.h"
+#include "cluster/scheduler.h"
+#include "support/stats.h"
+
+namespace sod::cluster {
+
+/// Arrival process shapes for the trace generator.
+enum class ArrivalKind {
+  Poisson,  ///< exponential interarrival gaps around the configured mean
+  OnOff,    ///< bursts of back-to-back arrivals separated by long OFF gaps
+  Soak,     ///< sustained constant-rate arrivals (the soak-tier shape)
+};
+
+const char* arrival_name(ArrivalKind k);
+/// Accepts "poisson", "onoff" (also "on-off"), "soak"; nullopt otherwise.
+std::optional<ArrivalKind> parse_arrival(std::string_view s);
+
+/// One session of a trace: tenant `tenant` runs Table I app `app` (index
+/// into the fib/nqueens/fft/tsp mix) arriving at virtual instant
+/// `arrival`, offloading up to `rounds` dispatch rounds before the
+/// residual computation finishes at home.  `id` is stable across
+/// filter_tenant so per-session results can be compared between a shared
+/// run and a tenant-alone run.
+struct SessionTrace {
+  int id = 0;
+  int tenant = 0;
+  int app = 0;
+  VDur arrival{};
+  int rounds = 1;
+};
+
+/// A churn/failure injection pinned to a deterministic point of the
+/// trace: it fires when the session with global arrival index
+/// `at_session` is admitted (arrival instants are virtual instants, so
+/// the firing point is deterministic in virtual time as well).
+struct Injection {
+  enum class Kind {
+    Join,  ///< add surge worker #surge to the shared pool
+    Drain, ///< drain surge worker #surge (no-op if it was lost meanwhile)
+    Fail,  ///< arm a mid-round worker loss (deepest queue at the instant)
+  };
+  Kind kind{};
+  int at_session = 0;
+  int surge = -1;
+};
+
+struct TraceConfig {
+  int sessions = 64;
+  int tenants = 4;
+  /// Size of the Table I app mix: sessions draw from the first `apps`
+  /// entries of {fib, nqueens, fft, tsp}.  1 keeps huge smokes lean.
+  int apps = 2;
+  ArrivalKind arrival = ArrivalKind::Poisson;
+  uint64_t seed = 1;
+  /// Mean interarrival gap (the Poisson mean; ON-OFF and soak derive
+  /// their burst/off/constant gaps from it).
+  VDur mean_gap = VDur::micros(500);
+  /// Sessions draw their dispatch-round budget uniformly from
+  /// [1, max_rounds].
+  int max_rounds = 2;
+  /// Fraction of arrivals that trigger a surge-worker join (each join is
+  /// paired with a drain a few arrivals later) — Boxer-style ephemeral
+  /// membership under load.
+  double churn = 0.0;
+  /// Mid-trace worker losses, spread evenly across the arrival sequence.
+  int failures = 0;
+  /// Tail-scale app arguments: each session carries several times the
+  /// work of the default load scale, so a straggler-parked segment is
+  /// long enough that speculative rescue beats its detection latency
+  /// (the tail-latency bench's shape).  Default load scale keeps
+  /// thousand-session smokes fast instead.
+  bool heavy = false;
+};
+
+struct Trace {
+  TraceConfig cfg;
+  std::vector<SessionTrace> sessions;  ///< sorted by (arrival, id)
+  std::vector<Injection> injections;   ///< sorted by at_session
+};
+
+/// Builds the deterministic trace for `cfg`: the same config (seed
+/// included) always yields the identical trace.
+Trace make_trace(const TraceConfig& cfg);
+
+/// The sessions of one tenant, arrival instants and ids preserved;
+/// injections are dropped (the alone-run is the clean-room baseline the
+/// isolation property tests compare against).
+Trace filter_tenant(const Trace& t, int tenant);
+
+struct LoadGenOptions {
+  PolicyKind policy = PolicyKind::LeastLoaded;
+  /// Checkpoint / speculation knobs forwarded to the shared Scheduler
+  /// (ignored in wall-clock mode, which has no checkpoint surface yet).
+  DispatchOptions dispatch{};
+  /// Shared worker pool; empty = 4 uniform gigabit workers.
+  std::vector<WorkerSpec> workers;
+  /// Frames split off per dispatch round (capped per app by its paper
+  /// stack height).
+  int segments_per_round = 2;
+  /// Replay through the wall-clock engine instead of the virtual-time
+  /// scheduler (`threads` pool threads; 0 = one per worker).
+  bool wallclock = false;
+  int threads = 0;
+};
+
+struct TenantStats {
+  int tenant = 0;
+  int sessions = 0;
+  int completed = 0;
+  int segments = 0;
+  /// Mean admission wait (arrival -> first dispatch step), ms.
+  double mean_wait_ms = 0;
+  /// Per-session completion latency (arrival -> final result), ms.
+  Percentiles completion_ms;
+};
+
+struct LoadGenResult {
+  int sessions = 0;
+  int completed = 0;
+  /// Every session completed and returned the app's single-node
+  /// reference result.
+  bool all_ok = false;
+  /// Attempt-aware exactly-once invariant over the shared event log
+  /// spanning every tenant's rounds.
+  bool exactly_once = false;
+  int segments = 0;
+  int redispatched = 0;
+  int resumed = 0;
+  int speculated = 0;
+  int cancelled = 0;
+  int checkpoints = 0;
+  int workers_lost = 0;
+  int surge_joins = 0;
+  int surge_drains = 0;
+  int failures_armed = 0;
+  /// Completion latency over all sessions, ms (arrival -> final result).
+  Percentiles completion_ms;
+  std::vector<TenantStats> tenants;  ///< indexed by tenant id
+  /// Per-session final results / latencies, parallel to trace.sessions.
+  std::vector<int64_t> results;
+  std::vector<double> session_ms;
+  /// Home virtual clock at the end of the replay, ms.
+  double total_ms = 0;
+};
+
+/// Replays `trace` against one shared cluster.  Deterministic in virtual
+/// mode: the same trace and options reproduce results, latencies, and the
+/// event log bit-identically.
+LoadGenResult run_loadgen(const Trace& trace, const LoadGenOptions& opts);
+
+}  // namespace sod::cluster

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace sod {
 
@@ -35,6 +36,53 @@ class Stats {
   double sum_ = 0, sum2_ = 0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact tail-percentile reducer: keeps every sample and reports
+/// nearest-rank order statistics — no interpolation, no sketching — so the
+/// same sample set always yields bit-identical percentiles (the property
+/// the deterministic bench tables gate on).  Mean completion hides exactly
+/// the tail a many-tenant service lives or dies by; p99 does not.
+class Percentiles {
+ public:
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;
+  }
+
+  int64_t count() const { return static_cast<int64_t>(xs_.size()); }
+
+  /// Nearest-rank quantile: the ceil(q * n)-th smallest sample (1-based).
+  /// q <= 0 yields the minimum, q >= 1 the maximum; 0 samples yield 0.
+  /// Ties are benign: equal samples sort stably to equal values.
+  double quantile(double q) const {
+    if (xs_.empty()) return 0.0;
+    if (!sorted_) {
+      std::sort(xs_.begin(), xs_.end());
+      sorted_ = true;
+    }
+    if (q <= 0.0) return xs_.front();
+    if (q >= 1.0) return xs_.back();
+    auto rank = static_cast<size_t>(std::ceil(q * static_cast<double>(xs_.size())));
+    if (rank == 0) rank = 1;
+    return xs_[std::min(rank, xs_.size()) - 1];
+  }
+
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+  double mean() const {
+    if (xs_.empty()) return 0.0;
+    double s = 0;
+    for (double x : xs_) s += x;
+    return s / static_cast<double>(xs_.size());
+  }
+  double max() const { return quantile(1.0); }
+
+ private:
+  mutable std::vector<double> xs_;  ///< sorted lazily by quantile()
+  mutable bool sorted_ = false;
 };
 
 }  // namespace sod

@@ -25,7 +25,7 @@ const std::set<std::string> kExpected = {
     "table1", "table2", "table3", "table4", "table5", "table6", "table7",
     "fig1", "fig5", "placement", "elastic", "failover", "checkpoint", "roaming_grid",
     "overhead_components", "ablation_fetch", "ablation_prefetch", "ablation_segments",
-    "wallclock",
+    "wallclock", "multitenant",
     // examples
     "quickstart", "elastic_search", "photo_share", "workflow_roaming"};
 
@@ -134,6 +134,23 @@ TEST(Flags, ParsesCheckpointEveryAndSpeculate) {
   EXPECT_FALSE(parse_scenario_flags({"--checkpoint-every", "0"}, opt, ""));
   EXPECT_FALSE(parse_scenario_flags({"--checkpoint-every", "-5"}, opt, ""));
   EXPECT_FALSE(parse_scenario_flags({"--checkpoint-every", "often"}, opt, ""));
+}
+
+TEST(Flags, ParsesLoadTraceFlags) {
+  ScenarioOptions opt;
+  EXPECT_EQ(opt.sessions, 0);  // unset = scenario default
+  EXPECT_TRUE(opt.arrival.empty());
+  EXPECT_EQ(opt.seed, -1);  // unset = scenario default seed
+  ASSERT_TRUE(parse_scenario_flags(
+      {"--sessions", "100", "--arrival", "onoff", "--seed", "42"}, opt, ""));
+  EXPECT_EQ(opt.sessions, 100);
+  EXPECT_EQ(opt.arrival, "onoff");
+  EXPECT_EQ(opt.seed, 42);
+  EXPECT_FALSE(parse_scenario_flags({"--sessions", "0"}, opt, ""));
+  EXPECT_FALSE(parse_scenario_flags({"--sessions"}, opt, ""));
+  EXPECT_FALSE(parse_scenario_flags({"--arrival", "bursty"}, opt, ""));
+  EXPECT_FALSE(parse_scenario_flags({"--seed", "-3"}, opt, ""));
+  EXPECT_FALSE(parse_scenario_flags({"--seed", "abc"}, opt, ""));
 }
 
 TEST(Flags, ParsesThreadsAndWallclock) {

@@ -15,6 +15,12 @@
 // up the tail.  The whole table is deterministic: two runs with the same
 // --seed produce bit-identical JSON.
 //
+// A final statics section replays the full four-app mix (adding FFT and
+// TSP) twice on least-loaded — with and without the whole-program
+// analyzer's statics-purity refresh skip — and reports the refresh
+// traffic (scans / skipped / bytes) per row; the pair must be
+// bit-identical apart from the skipped counter.
+//
 // Flags: --sessions N, --arrival A (restrict to one mix), --seed S,
 // --policy P (restrict to one policy), --churn X (surge join/drain rate),
 // --wallclock/--threads N (baseline rows on the thread-pool engine;
@@ -97,7 +103,8 @@ int run(const cli::ScenarioOptions& opt) {
               static_cast<unsigned long long>(cfg.seed));
 
   Table t({"config", "sessions", "completed", "segments", "joins", "lost", "p50 ms",
-           "p95 ms", "p99 ms", "mean ms", "total ms"});
+           "p95 ms", "p99 ms", "mean ms", "total ms", "stat scans", "stat skipped",
+           "stat bytes"});
   bool all_ok = true;
   for (cluster::ArrivalKind arrival : arrivals) {
     cluster::TraceConfig acfg = cfg;
@@ -138,7 +145,9 @@ int run(const cli::ScenarioOptions& opt) {
                std::to_string(r.segments), std::to_string(r.surge_joins),
                std::to_string(r.workers_lost), fmt("%.3f", r.completion_ms.p50()),
                fmt("%.3f", r.completion_ms.p95()), fmt("%.3f", r.completion_ms.p99()),
-               fmt("%.3f", r.completion_ms.mean()), fmt("%.3f", r.total_ms)});
+               fmt("%.3f", r.completion_ms.mean()), fmt("%.3f", r.total_ms),
+               std::to_string(r.statics_scans), std::to_string(r.statics_skipped),
+               std::to_string(r.statics_bytes)});
         // The tail claim: speculation may only shrink p99 where the policy
         // actually parks work on the straggler (least_loaded).  Learned
         // routes around the device, so its rows are informational.
@@ -155,6 +164,58 @@ int run(const cli::ScenarioOptions& opt) {
       }
     }
   }
+  // Statics-refresh ablation: the full four-app mix (fib + nqueens + FFT +
+  // TSP) replayed twice on least-loaded — with the analyzer-driven purity
+  // skip (default) and without it.  FFT's statics are all Ref, so its
+  // tenant classes are provably primitive-pure and their refresh scans
+  // vanish; TSP's primitive `best` bound keeps its classes scanned in both
+  // rows.  The replay must be bit-identical either way: same results, same
+  // completion percentiles, same copied bytes.
+  {
+    cluster::TraceConfig scfg = cfg;
+    scfg.apps = 4;
+    scfg.arrival = cluster::ArrivalKind::Poisson;
+    scfg.failures = 0;  // isolate refresh traffic from re-dispatch noise
+    scfg.churn = 0;
+    cluster::Trace strace = cluster::make_trace(scfg);
+    cluster::LoadGenResult pair[2];
+    for (bool skip : {true, false}) {
+      cluster::LoadGenOptions lg;
+      lg.policy = cluster::PolicyKind::LeastLoaded;
+      lg.workers = straggler_topology();
+      lg.segments_per_round = 3;
+      lg.wallclock = opt.wallclock;
+      lg.threads = opt.threads;
+      lg.dispatch.statics_skip = skip;
+      auto r = cluster::run_loadgen(strace, lg);
+      pair[skip ? 0 : 1] = r;
+      std::string label = std::string("statics/least-loaded/") + (skip ? "skip" : "noskip");
+      if (!r.all_ok) {
+        std::fprintf(stderr, "multitenant: %s lost sessions (%d/%d ok)\n", label.c_str(),
+                     r.completed, r.sessions);
+        all_ok = false;
+      }
+      std::printf("%s: %zu refresh scan(s), %zu skipped, %zu byte(s) copied\n",
+                  label.c_str(), r.statics_scans, r.statics_skipped, r.statics_bytes);
+      t.row({label, std::to_string(r.sessions), std::to_string(r.completed),
+             std::to_string(r.segments), std::to_string(r.surge_joins),
+             std::to_string(r.workers_lost), fmt("%.3f", r.completion_ms.p50()),
+             fmt("%.3f", r.completion_ms.p95()), fmt("%.3f", r.completion_ms.p99()),
+             fmt("%.3f", r.completion_ms.mean()), fmt("%.3f", r.total_ms),
+             std::to_string(r.statics_scans), std::to_string(r.statics_skipped),
+             std::to_string(r.statics_bytes)});
+    }
+    if (pair[0].statics_skipped == 0) {
+      std::fprintf(stderr, "multitenant: purity skip never fired on the statics mix\n");
+      all_ok = false;
+    }
+    if (pair[0].results != pair[1].results || pair[0].statics_bytes != pair[1].statics_bytes ||
+        pair[0].completion_ms.p99() != pair[1].completion_ms.p99()) {
+      std::fprintf(stderr, "multitenant: statics skip changed the replay\n");
+      all_ok = false;
+    }
+  }
+
   t.print();
   if (!all_ok) std::fprintf(stderr, "multitenant: a load replay failed\n");
   return (all_ok && cli::maybe_write_json(opt, "multitenant", t)) ? 0 : 1;

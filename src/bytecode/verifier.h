@@ -29,7 +29,7 @@ struct StackMap {
   uint16_t max_stack = 0;
 
   bool is_boundary(uint32_t pc) const {
-    return pc < depth.size() && depth[pc] >= -1 &&
+    return pc < depth.size() && depth[pc] >= 0 &&
            std::binary_search(boundaries.begin(), boundaries.end(), pc);
   }
 };

@@ -1,0 +1,205 @@
+// `sodctl analyze` — run the whole-program static analyzer over a
+// registered scenario's guest bytecode and print the per-class report:
+// direct callees, transitive statics effects, ref escape, and the per-MSP
+// captured-state bound placement uses as a migration-cost hint.
+//
+// This is the same analysis the cluster admission gate runs before any
+// class image ships, so `analyze --all` over every registered scenario
+// with zero rejections is a CI-grade lint of the whole app suite.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "cli/scenario.h"
+#include "prep/prep.h"
+#include "support/json.h"
+#include "support/panic.h"
+#include "support/table.h"
+
+namespace sod::cli {
+
+namespace {
+
+std::string method_names(const bc::Program& p, const std::vector<uint16_t>& ids) {
+  std::string out;
+  for (uint16_t id : ids) {
+    if (!out.empty()) out += ' ';
+    out += p.method(id).name;
+  }
+  return out.empty() ? "-" : out;
+}
+
+std::string field_names(const bc::Program& p, const std::vector<uint16_t>& ids) {
+  std::string out;
+  for (uint16_t id : ids) {
+    if (!out.empty()) out += ' ';
+    out += p.field(id).name;
+  }
+  return out.empty() ? "-" : out;
+}
+
+/// Sorted union of `add` into `into`.
+void merge_ids(std::vector<uint16_t>& into, const std::vector<uint16_t>& add) {
+  for (uint16_t id : add)
+    if (std::find(into.begin(), into.end(), id) == into.end()) into.push_back(id);
+  std::sort(into.begin(), into.end());
+}
+
+/// The per-class report table over every class that owns code or statics.
+Table class_table(const bc::Program& p, const analysis::ProgramFacts& facts) {
+  Table t({"class", "methods", "reachable", "callees", "statics read", "statics written",
+           "statics-pure", "ref escape", "msp state slots"});
+  for (const bc::Class& c : p.classes) {
+    bool has_code = false;
+    for (uint16_t m : c.method_ids) has_code = has_code || !p.method(m).code.empty();
+    if (!has_code && c.num_static_slots == 0) continue;  // builtin exception stubs
+
+    int defined = 0, reachable = 0;
+    std::vector<uint16_t> callees, reads, writes;
+    for (uint16_t m : c.method_ids) {
+      if (m >= facts.methods.size()) continue;
+      const analysis::MethodFacts& mf = facts.methods[m];
+      defined += mf.defined ? 1 : 0;
+      reachable += mf.reachable ? 1 : 0;
+      merge_ids(callees, mf.callees);
+      merge_ids(reads, mf.statics_read);
+      merge_ids(writes, mf.statics_written);
+    }
+    t.row({c.name, fmt("%d", defined), fmt("%d", reachable), method_names(p, callees),
+           field_names(p, reads), field_names(p, writes),
+           facts.class_statics_pure(c.id) ? "yes" : "no",
+           facts.class_ref_escape(c.id) ? "yes" : "no",
+           fmt("%u", facts.class_msp_state_slots(c.id))});
+  }
+  return t;
+}
+
+/// One scenario: build + preprocess + analyze + report.  Returns 0 when
+/// the program is admitted, 3 when rejected.
+int analyze_one(const Scenario& s, bool json, const std::string& json_path) {
+  bc::Program p;
+  analysis::AdmissionReport rep;
+  bool built = false;
+  try {
+    p = s.program();
+    prep::preprocess_program(p);
+    built = true;
+  } catch (const Error& e) {
+    // A program the preprocessor itself rejects never reaches the
+    // analyzer; surface its verdict in the same diagnostic shape.
+    analysis::Diagnostic d;
+    d.cls = "?";
+    d.method = "?";
+    d.message = e.what();
+    rep.admitted = false;
+    rep.diagnostics.push_back(d);
+  }
+  if (built) {
+    analysis::AnalysisOptions aopt;
+    if (!s.entry.empty()) aopt.entries.push_back(s.entry);
+    rep = analysis::analyze_program(p, aopt);
+  }
+
+  std::printf("== %s ==\n", s.name.c_str());
+  Table t = built ? class_table(p, rep.facts) : Table({"class"});
+  t.print();
+  std::printf("%zu reachable method(s), %zu defined but unreachable; %s\n",
+              rep.facts.reachable_methods, rep.facts.unreachable_methods,
+              rep.admitted ? "ADMITTED" : "REJECTED");
+  for (const analysis::Diagnostic& d : rep.diagnostics)
+    std::printf("  diagnostic: %s\n", d.str().c_str());
+
+  if (json) {
+    std::string path = json_path.empty() ? "ANALYZE_" + s.name + ".json" : json_path;
+    std::string body = "{\"analyze\": " + json_quote(s.name) +
+                       ", \"schema_version\": 1, \"admitted\": " +
+                       (rep.admitted ? "true" : "false") +
+                       ", \"reachable\": " + std::to_string(rep.facts.reachable_methods) +
+                       ", \"unreachable\": " + std::to_string(rep.facts.unreachable_methods) +
+                       ", \"diagnostics\": [";
+    for (size_t i = 0; i < rep.diagnostics.size(); ++i) {
+      if (i) body += ", ";
+      body += json_quote(rep.diagnostics[i].str());
+    }
+    body += "], \"classes\": " + t.json("analyze_" + s.name) + "}\n";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "sodctl: cannot write %s\n", path.c_str());
+      return 2;
+    }
+    size_t n = std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    if (n != body.size()) {
+      std::fprintf(stderr, "sodctl: short write to %s\n", path.c_str());
+      return 2;
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return rep.admitted ? 0 : 3;
+}
+
+}  // namespace
+
+int cmd_analyze(const std::vector<std::string>& args) {
+  bool all = false;
+  bool json = false;
+  std::string json_path;
+  std::string name;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--all") {
+      all = true;
+    } else if (a == "--json") {
+      json = true;
+      if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) json_path = args[++i];
+    } else if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "sodctl: unknown analyze flag '%s'\n", a.c_str());
+      return 2;
+    } else if (name.empty()) {
+      name = a;
+    } else {
+      std::fprintf(stderr, "sodctl: analyze takes one scenario name (got '%s' and '%s')\n",
+                   name.c_str(), a.c_str());
+      return 2;
+    }
+  }
+  if (all == !name.empty()) {
+    std::fprintf(stderr, "sodctl: analyze requires a scenario name or --all\n");
+    return 2;
+  }
+  if (all && !json_path.empty()) {
+    std::fprintf(stderr,
+                 "sodctl: --json takes no path with --all (per-scenario "
+                 "ANALYZE_<name>.json files are written)\n");
+    return 2;
+  }
+
+  if (!all) {
+    const Scenario* s = ScenarioRegistry::instance().find(name);
+    if (s == nullptr) {
+      std::fprintf(stderr, "sodctl: unknown scenario '%s' (see `sodctl list`)\n",
+                   name.c_str());
+      return 2;
+    }
+    if (!s->program) {
+      std::fprintf(stderr, "sodctl: scenario '%s' has no guest program to analyze\n",
+                   name.c_str());
+      return 2;
+    }
+    return analyze_one(*s, json, json_path);
+  }
+
+  int analyzed = 0, rejected = 0;
+  for (const Scenario* s : ScenarioRegistry::instance().all()) {
+    if (!s->program) continue;
+    if (analyzed) std::printf("\n");
+    ++analyzed;
+    if (analyze_one(*s, json, "") == 3) ++rejected;
+  }
+  std::printf("\n%d scenario program(s) analyzed, %d rejected\n", analyzed, rejected);
+  return rejected > 0 ? 3 : 0;
+}
+
+}  // namespace sod::cli

@@ -85,7 +85,17 @@ ScenarioRegistrar::ScenarioRegistrar(std::string name, ScenarioKind kind,
                                      std::string description,
                                      std::function<int(const ScenarioOptions&)> run) {
   ScenarioRegistry::instance().add(
-      Scenario{std::move(name), kind, std::move(description), std::move(run)});
+      Scenario{std::move(name), kind, std::move(description), std::move(run), {}, {}});
+}
+
+ScenarioRegistrar::ScenarioRegistrar(std::string name, ScenarioKind kind,
+                                     std::string description,
+                                     std::function<int(const ScenarioOptions&)> run,
+                                     std::function<bc::Program()> program,
+                                     std::string entry) {
+  ScenarioRegistry::instance().add(Scenario{std::move(name), kind, std::move(description),
+                                            std::move(run), std::move(program),
+                                            std::move(entry)});
 }
 
 bool maybe_write_json(const ScenarioOptions& opt, const std::string& bench_name,

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "bytecode/program.h"
+
 namespace sod {
 class Table;
 }
@@ -78,6 +80,12 @@ struct Scenario {
   ScenarioKind kind = ScenarioKind::Bench;
   std::string description;
   std::function<int(const ScenarioOptions&)> run;
+  /// Optional whole-program view for `sodctl analyze`: builds the
+  /// scenario's guest bytecode program (the analyze driver preprocesses
+  /// it).  Scenarios without guest bytecode leave it empty.
+  std::function<bc::Program()> program;
+  /// Reachability root for the analyzer ("" = every defined method).
+  std::string entry;
 };
 
 class ScenarioRegistry {
@@ -104,6 +112,9 @@ class ScenarioRegistry {
 struct ScenarioRegistrar {
   ScenarioRegistrar(std::string name, ScenarioKind kind, std::string description,
                     std::function<int(const ScenarioOptions&)> run);
+  ScenarioRegistrar(std::string name, ScenarioKind kind, std::string description,
+                    std::function<int(const ScenarioOptions&)> run,
+                    std::function<bc::Program()> program, std::string entry);
 };
 
 #define SOD_CLI_CAT2(a, b) a##b
@@ -114,6 +125,14 @@ struct ScenarioRegistrar {
 #define SOD_REGISTER_SCENARIO(name, kind, desc, fn)                             \
   [[maybe_unused]] static const ::sod::cli::ScenarioRegistrar SOD_CLI_CAT(      \
       sod_scenario_reg_, __LINE__)(name, kind, desc, fn)
+
+/// Registration with a program factory + analyzer entry, so `sodctl
+/// analyze <name>` can run the whole-program analyzer over the scenario's
+/// guest bytecode: SOD_REGISTER_SCENARIO_PROGRAM("fib", ..., run_fib,
+/// prog_fn, "Fib.main");
+#define SOD_REGISTER_SCENARIO_PROGRAM(name, kind, desc, fn, prog, entry)        \
+  [[maybe_unused]] static const ::sod::cli::ScenarioRegistrar SOD_CLI_CAT(      \
+      sod_scenario_reg_, __LINE__)(name, kind, desc, fn, prog, entry)
 
 /// Writes `t` to opt.json_path when set (bench scenarios call this after
 /// printing).  Returns false (with a message on stderr) if the file could
@@ -132,5 +151,11 @@ bool maybe_write_json(const ScenarioOptions& opt, const std::string& bench_name,
 /// value ("" disables the bare form).
 bool parse_scenario_flags(const std::vector<std::string>& args, ScenarioOptions& opt,
                           const std::string& default_json_name);
+
+/// `sodctl analyze` entry point (src/cli/analyze.cpp): runs the
+/// whole-program analyzer over one scenario's program (or --all) and
+/// prints the per-class report.  Exit 0 = admitted, 3 = rejected, 2 =
+/// usage error.
+int cmd_analyze(const std::vector<std::string>& args);
 
 }  // namespace sod::cli

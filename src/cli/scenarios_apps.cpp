@@ -182,22 +182,36 @@ int run_nqueens(const ScenarioOptions& opt) {
 int run_fft(const ScenarioOptions& opt) { return run_table1_app(sod::apps::fft_app(), opt); }
 int run_tsp(const ScenarioOptions& opt) { return run_table1_app(sod::apps::tsp_app(), opt); }
 
-SOD_REGISTER_SCENARIO("fib", ScenarioKind::App,
-                      "recursive Fibonacci with policy-placed concurrent segment offloads",
-                      run_fib);
-SOD_REGISTER_SCENARIO("nqueens", ScenarioKind::App,
-                      "n-queens backtracking with policy-placed concurrent segment offloads",
-                      run_nqueens);
-SOD_REGISTER_SCENARIO("fft", ScenarioKind::App,
-                      "2-D FFT (large statics) with policy-placed concurrent segment offloads",
-                      run_fft);
-SOD_REGISTER_SCENARIO("tsp", ScenarioKind::App,
-                      "TSP branch-and-bound with policy-placed concurrent segment offloads",
-                      run_tsp);
-SOD_REGISTER_SCENARIO("docsearch", ScenarioKind::App,
-                      "document search over the simulated filesystem", run_docsearch);
-SOD_REGISTER_SCENARIO("photoshare", ScenarioKind::App,
-                      "photo-share listing and fetch over the simulated device fs",
-                      run_photoshare);
+sod::bc::Program prog_fib() { return sod::apps::fib_app().build(); }
+sod::bc::Program prog_nqueens() { return sod::apps::nqueens_app().build(); }
+sod::bc::Program prog_fft() { return sod::apps::fft_app().build(); }
+sod::bc::Program prog_tsp() { return sod::apps::tsp_app().build(); }
+sod::bc::Program prog_docsearch() { return sod::apps::build_docsearch(); }
+sod::bc::Program prog_photoshare() { return sod::apps::build_photoshare(); }
+
+SOD_REGISTER_SCENARIO_PROGRAM(
+    "fib", ScenarioKind::App,
+    "recursive Fibonacci with policy-placed concurrent segment offloads", run_fib, prog_fib,
+    "Fib.main");
+SOD_REGISTER_SCENARIO_PROGRAM(
+    "nqueens", ScenarioKind::App,
+    "n-queens backtracking with policy-placed concurrent segment offloads", run_nqueens,
+    prog_nqueens, "NQ.main");
+SOD_REGISTER_SCENARIO_PROGRAM(
+    "fft", ScenarioKind::App,
+    "2-D FFT (large statics) with policy-placed concurrent segment offloads", run_fft,
+    prog_fft, "FFT.main");
+SOD_REGISTER_SCENARIO_PROGRAM(
+    "tsp", ScenarioKind::App,
+    "TSP branch-and-bound with policy-placed concurrent segment offloads", run_tsp, prog_tsp,
+    "TSP.main");
+SOD_REGISTER_SCENARIO_PROGRAM("docsearch", ScenarioKind::App,
+                              "document search over the simulated filesystem", run_docsearch,
+                              prog_docsearch, "Search.main");
+// Photoshare has two host-driven entry points (count_photos, photo_size),
+// so the analyzer roots reachability at every defined method.
+SOD_REGISTER_SCENARIO_PROGRAM("photoshare", ScenarioKind::App,
+                              "photo-share listing and fetch over the simulated device fs",
+                              run_photoshare, prog_photoshare, "");
 
 }  // namespace

@@ -31,6 +31,12 @@ int usage(std::FILE* to) {
                "  run <name> [flags]        run a scenario by name\n"
                "  bench <name> [flags]      run a bench scenario (BENCH_<name>.json\n"
                "                            with bare --json)\n"
+               "  analyze <name> [--json [path]]\n"
+               "                            whole-program static analysis of a scenario's\n"
+               "                            guest bytecode: per-class callees, statics\n"
+               "                            effects, ref escape, MSP state bounds; exit 3\n"
+               "                            if the admission gate would reject it\n"
+               "  analyze --all [--json]    analyze every scenario with a guest program\n"
                "  help                      show this message\n"
                "\n"
                "flags:\n"
@@ -117,6 +123,7 @@ int main(int argc, char** argv) {
     }
     return cmd_run(args[1], {args.begin() + 2, args.end()}, cmd == "bench");
   }
+  if (cmd == "analyze") return sod::cli::cmd_analyze({args.begin() + 1, args.end()});
   std::fprintf(stderr, "sodctl: unknown command '%s'\n", cmd.c_str());
   return usage(stderr);
 }

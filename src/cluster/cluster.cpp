@@ -6,6 +6,10 @@
 namespace sod::cluster {
 
 Cluster::Cluster(const bc::Program& prog, mig::SodNode::Config home_cfg) : prog_(&prog) {
+  // Admission gate: every program is analyzed before any class image can
+  // ship.  analyze_program never throws — a malformed program yields a
+  // report with diagnostics, and the scheduler refuses to dispatch it.
+  admission_ = analysis::analyze_program(prog);
   home_ = std::make_unique<mig::SodNode>("home", prog, home_cfg);
 }
 

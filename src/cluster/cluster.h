@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analysis.h"
 #include "sod/migrate.h"
 
 namespace sod::cluster {
@@ -45,9 +46,19 @@ struct WorkerSpec {
 enum class WorkerState { Active, Draining, Retired, Lost };
 
 /// Home node + workers, all hosting the same preprocessed program.
+///
+/// Construction runs the whole-program analyzer over the program and keeps
+/// the admission report: the scheduler and wall-clock engine consult the
+/// facts (statics purity, ref escape, MSP state bounds) on their hot paths,
+/// and refuse to dispatch a program that failed admission.
 class Cluster {
  public:
   explicit Cluster(const bc::Program& prog, mig::SodNode::Config home_cfg = {});
+
+  /// Admission verdict + whole-program facts for the hosted program.
+  const analysis::AdmissionReport& admission() const { return admission_; }
+  const analysis::ProgramFacts& facts() const { return admission_.facts; }
+  const bc::Program& program() const { return *prog_; }
 
   /// Adds a worker; returns its id (0-based, dense, stable).  Legal
   /// mid-run: the next dispatch round sees the new worker.  Names must be
@@ -131,6 +142,7 @@ class Cluster {
   };
 
   const bc::Program* prog_;
+  analysis::AdmissionReport admission_;
   std::unique_ptr<mig::SodNode> home_;
   std::vector<Slot> workers_;
 };

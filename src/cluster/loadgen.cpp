@@ -14,6 +14,7 @@
 #include "cluster/wallclock.h"
 #include "prep/prep.h"
 #include "sod/migrate.h"
+#include "support/panic.h"
 #include "support/rng.h"
 
 namespace sod::cluster {
@@ -38,22 +39,23 @@ namespace {
 
 /// One Table I app at load scale: small enough that a thousand sessions
 /// replay under the sanitizers, big enough that the trigger depth is
-/// reachable and rounds do real work.  `statics` marks apps whose class
-/// statics are mutable workspace (FFT grids, TSP bound/visited): sessions
-/// of such an app serialize per tenant so one session's init can never
-/// clobber another's in-flight state.
+/// reachable and rounds do real work.  Whether an app's class statics are
+/// mutable workspace (FFT grids, TSP bound/visited) is no longer a
+/// hand-maintained flag here: the whole-program analyzer proves it per
+/// (tenant, app) entry method, and sessions of a statics-writing app
+/// serialize per tenant so one session's init can never clobber another's
+/// in-flight state.
 struct LoadApp {
   apps::AppSpec spec;
   std::vector<bc::Value> args;
-  bool statics = false;
 };
 
 std::vector<LoadApp> load_apps(bool heavy) {
   std::vector<LoadApp> v;
-  v.push_back({apps::fib_app(), {bc::Value::of_i64(heavy ? 22 : 16)}, false});
-  v.push_back({apps::nqueens_app(), {bc::Value::of_i64(heavy ? 7 : 6)}, false});
-  v.push_back({apps::fft_app(), {bc::Value::of_i64(8), bc::Value::of_i64(64)}, true});
-  v.push_back({apps::tsp_app(), {bc::Value::of_i64(heavy ? 7 : 6)}, true});
+  v.push_back({apps::fib_app(), {bc::Value::of_i64(heavy ? 22 : 16)}});
+  v.push_back({apps::nqueens_app(), {bc::Value::of_i64(heavy ? 7 : 6)}});
+  v.push_back({apps::fft_app(), {bc::Value::of_i64(8), bc::Value::of_i64(64)}});
+  v.push_back({apps::tsp_app(), {bc::Value::of_i64(heavy ? 7 : 6)}});
   return v;
 }
 
@@ -189,7 +191,15 @@ LoadGenResult run_loadgen(const Trace& trace, const LoadGenOptions& opts) {
       if (used[static_cast<size_t>(t * napps + a)])
         cat[static_cast<size_t>(a)].spec.emit(pb, tenant_prefix(t));
   bc::Program p = pb.build();
-  prep::preprocess_program(p);
+  try {
+    prep::preprocess_program(p);
+  } catch (const Error& e) {
+    // A malformed tenant program must never crash the generator: surface
+    // the preprocessor's verdict as a rejection, before any node exists.
+    res.admitted = false;
+    res.rejection_diags.push_back(e.what());
+    return res;
+  }
 
   // Reference results: each app once, alone, on a standalone node.  Every
   // session of every tenant must reproduce its app's reference bit-exactly
@@ -218,8 +228,31 @@ LoadGenResult run_loadgen(const Trace& trace, const LoadGenOptions& opts) {
   if (opts.wallclock) {
     WallClockOptions wopt;
     wopt.threads = opts.threads;
+    wopt.statics_skip = opts.dispatch.statics_skip;
     engine = std::make_unique<WallClockEngine>(c, *policy, wopt);
   }
+
+  // Admission gate: no session spawns and no class image ships unless the
+  // whole-program analyzer admitted the shared tenant program.  The
+  // scheduler/engine above already logged the ProgramRejected event.
+  if (!c.admission().admitted) {
+    res.admitted = false;
+    for (const auto& d : c.admission().diagnostics) res.rejection_diags.push_back(d.str());
+    res.exactly_once = engine ? engine->exactly_once() : sched.exactly_once();
+    return res;
+  }
+
+  // The analyzer replaces the old hand-maintained statics-bearing app
+  // list: a (tenant, app) instance serializes iff its prefixed entry
+  // method transitively writes statics (FFT, TSP — proven, not declared).
+  std::vector<bool> writes_statics(used.size(), false);
+  for (int t = 0; t < tenants; ++t)
+    for (int a = 0; a < napps; ++a) {
+      const size_t k = static_cast<size_t>(t * napps + a);
+      if (used[k])
+        writes_statics[k] = c.facts().method_writes_statics(
+            p, tenant_prefix(t) + cat[static_cast<size_t>(a)].spec.entry);
+    }
 
   mig::SodNode& home = c.home();
   std::vector<SessState> st(n);
@@ -232,7 +265,7 @@ LoadGenResult run_loadgen(const Trace& trace, const LoadGenOptions& opts) {
   auto lock_key = [&](const SessionTrace& s) { return s.tenant * napps + s.app; };
   auto blocked = [&](size_t i) {
     const auto& s = trace.sessions[i];
-    if (!cat[static_cast<size_t>(s.app)].statics) return false;
+    if (!writes_statics[static_cast<size_t>(lock_key(s))]) return false;
     auto it = lock.find(lock_key(s));
     return it != lock.end() && it->second != static_cast<int>(i);
   };
@@ -307,7 +340,7 @@ LoadGenResult run_loadgen(const Trace& trace, const LoadGenOptions& opts) {
     const std::string pfx = tenant_prefix(ts.tenant);
 
     if (ss.tid < 0) {
-      if (la.statics) lock[lock_key(ts)] = pick;
+      if (writes_statics[static_cast<size_t>(lock_key(ts))]) lock[lock_key(ts)] = pick;
       ss.first_step = c.home_now();
       ss.tid = home.vm().spawn(p.find_method(pfx + la.spec.entry), la.args);
     }
@@ -342,7 +375,7 @@ LoadGenResult run_loadgen(const Trace& trace, const LoadGenOptions& opts) {
       ss.ok = ss.result == expected[static_cast<size_t>(ts.app)];
     }
     ss.ms = (c.home_now() - ts.arrival).ms();
-    if (la.statics) {
+    if (writes_statics[static_cast<size_t>(lock_key(ts))]) {
       auto it = lock.find(lock_key(ts));
       if (it != lock.end() && it->second == pick) lock.erase(it);
     }
@@ -372,6 +405,10 @@ LoadGenResult run_loadgen(const Trace& trace, const LoadGenOptions& opts) {
   res.exactly_once = engine ? engine->exactly_once() : sched.exactly_once();
   res.redispatched = engine ? engine->redispatches() : sched.redispatches();
   res.workers_lost = engine ? engine->workers_lost() : sched.workers_lost();
+  const StaticsRefreshStats& sst = engine ? engine->statics_stats() : sched.statics_stats();
+  res.statics_scans = sst.scans;
+  res.statics_skipped = sst.skipped;
+  res.statics_bytes = sst.bytes;
   if (!engine) {
     res.resumed = sched.resumes();
     res.speculated = sched.speculations();

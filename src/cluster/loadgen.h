@@ -153,6 +153,11 @@ struct TenantStats {
 struct LoadGenResult {
   int sessions = 0;
   int completed = 0;
+  /// Whole-program admission gate verdict: false means the shared tenant
+  /// program was rejected before any class image shipped (no sessions
+  /// ran; `rejection_diags` carries the analyzer's diagnostics).
+  bool admitted = true;
+  std::vector<std::string> rejection_diags;
   /// Every session completed and returned the app's single-node
   /// reference result.
   bool all_ok = false;
@@ -169,6 +174,12 @@ struct LoadGenResult {
   int surge_joins = 0;
   int surge_drains = 0;
   int failures_armed = 0;
+  /// Statics-refresh traffic over the replay: per-class scans performed,
+  /// scans skipped because the analyzer proved the class statics-pure,
+  /// and primitive-static bytes actually copied.
+  size_t statics_scans = 0;
+  size_t statics_skipped = 0;
+  size_t statics_bytes = 0;
   /// Completion latency over all sessions, ms (arrival -> final result).
   Percentiles completion_ms;
   std::vector<TenantStats> tenants;  ///< indexed by tenant id

@@ -38,6 +38,11 @@ struct PlacementRequest {
   uint16_t cls = 0;              ///< class of the segment's entry (bottom) frame
   size_t state_bytes = 0;        ///< captured-state wire size
   size_t class_image_bytes = 0;  ///< image size if the class must still ship
+  /// Static bound on per-frame captured state at the class's migration-safe
+  /// points (max locals + operand depth, in slots), from the whole-program
+  /// analyzer — a migration-cost hint available before any execution has
+  /// been observed.
+  uint32_t msp_state_slots = 0;
 };
 
 class PlacementPolicy {

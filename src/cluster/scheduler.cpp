@@ -38,16 +38,28 @@ const char* event_name(EventKind k) {
     case EventKind::CheckpointTaken: return "checkpoint_taken";
     case EventKind::SpeculativeDispatched: return "speculative_dispatched";
     case EventKind::AttemptCancelled: return "attempt_cancelled";
+    case EventKind::ProgramRejected: return "program_rejected";
   }
   SOD_UNREACHABLE("bad EventKind");
 }
 
-size_t refresh_primitive_statics(mig::SodNode& src, mig::SodNode& dst) {
+size_t refresh_primitive_statics(mig::SodNode& src, mig::SodNode& dst,
+                                 const analysis::ProgramFacts* facts,
+                                 StaticsRefreshStats* stats) {
   const bc::Program& P = src.program();
   size_t bytes = 0;
   for (const auto& cls : P.classes) {
     if (cls.num_static_slots == 0) continue;
     if (!src.vm().class_loaded(cls.id) || !dst.vm().class_loaded(cls.id)) continue;
+    if (facts != nullptr && facts->class_statics_pure(cls.id)) {
+      // No reachable PUTSTATIC ever targets a primitive static of this
+      // class, and every node initialized it identically from the shared
+      // program — the scan below would always find same_payload and ship
+      // zero bytes, so skipping it is bit-identical.
+      if (stats != nullptr) ++stats->skipped;
+      continue;
+    }
+    if (stats != nullptr) ++stats->scans;
     std::span<const bc::Value> src_vals = src.vm().statics_of(cls.id);
     std::vector<bc::Value> dst_vals(dst.vm().statics_of(cls.id).begin(),
                                     dst.vm().statics_of(cls.id).end());
@@ -62,6 +74,7 @@ size_t refresh_primitive_statics(mig::SodNode& src, mig::SodNode& dst) {
     }
     if (changed) dst.vm().overwrite_statics(cls.id, std::move(dst_vals));
   }
+  if (stats != nullptr) stats->bytes += bytes;
   return bytes;
 }
 
@@ -137,7 +150,12 @@ Scheduler::Scheduler(Cluster& c, PlacementPolicy& policy, DispatchOptions opt)
     : c_(&c),
       policy_(&policy),
       opt_(opt),
-      tracker_(AttemptTracker::Config{opt.straggler_factor}) {}
+      tracker_(AttemptTracker::Config{opt.straggler_factor}) {
+  // Admission verdict is part of the event stream: a program that failed
+  // the cluster's static analysis is announced up front, and run() refuses
+  // to ship any of its class images.
+  if (!c.admission().admitted) emit(EventKind::ProgramRejected, c.home_now(), -1, -1);
+}
 
 Scheduler::~Scheduler() = default;
 
@@ -249,6 +267,7 @@ void Scheduler::dispatch(size_t i) {
   t.req.cls = entry_cls;
   t.req.state_bytes = cs.wire_size();
   t.req.class_image_bytes = home.program().class_image(entry_cls).size();
+  t.req.msp_state_slots = c_->facts().class_msp_state_slots(entry_cls);
   int w = policy_->choose(*c_, t.req);
   SOD_CHECK(w >= 0 && w < c_->size(), "policy chose an invalid worker");
   SOD_CHECK(c_->accepting(w), "policy chose a non-accepting worker");
@@ -417,7 +436,8 @@ void Scheduler::prepare(size_t i) {
     // best-bound static is the canonical case).  Unchanged fields ship
     // nothing, so a re-dispatched segment replays this refresh
     // idempotently against its new worker.
-    size_t stat_bytes = refresh_primitive_statics(home, dst);
+    size_t stat_bytes = refresh_primitive_statics(
+        home, dst, opt_.statics_skip ? &c_->facts() : nullptr, &statics_stats_);
     bc::Value v_in = up.result;
     if (up.pl.worker != pl.worker) {
       // The result is relayed worker -> home -> worker (links are
@@ -433,7 +453,13 @@ void Scheduler::prepare(size_t i) {
         // translated the result into a home ref; forward that handle and
         // materialize it as a stub — the object body is fetched lazily on
         // first touch.  A restart after a mid-execution worker loss
-        // replays this forward (the handle really travels again).
+        // replays this forward (the handle really travels again).  The
+        // escape facts are load-bearing here: write_back only retained the
+        // forwarding entry because the analyzer proved the class can leak
+        // a ref, so a ref actually arriving from a "no-escape" class would
+        // mean the analysis is unsound.
+        SOD_CHECK(c_->facts().class_ref_escape(up.pl.cls),
+                  "ref result from a class the analyzer proved escape-free");
         SOD_CHECK(up.home_result.tag == bc::Ty::Ref && up.home_result.r != bc::kNull,
                   "cross-worker ref result missing from the forwarding table");
         bc::Ref stub = dst.vm().heap().alloc_stub(up.home_result.r);
@@ -615,7 +641,11 @@ void Scheduler::write_back(size_t i) {
   auto rep = mig::write_back(*t.seg, c_->home(), home_tid_, bottom ? t.spec.depth_hi : 0,
                              t.result, c_->link(t.pl.worker));
   out_->writeback_bytes += rep.bytes;
-  t.home_result = rep.home_result;
+  // The ref-forwarding table only tracks classes the analyzer says can
+  // actually chain a ref (return or statically store one); everyone else's
+  // home-translated result is dropped here and prepare() checks none ever
+  // arrives.
+  if (c_->facts().class_ref_escape(t.pl.cls)) t.home_result = rep.home_result;
   store_.drop(round_, static_cast<int>(i));
 }
 
@@ -660,6 +690,8 @@ bool Scheduler::exactly_once() const { return exactly_once_log(log_); }
 DispatchOutcome Scheduler::run(int home_tid, const std::vector<mig::SegmentSpec>& specs) {
   mig::SodNode& home = c_->home();
   ++round_;
+  SOD_CHECK(c_->admission().admitted,
+            "dispatch of a program that failed admission (see Cluster::admission())");
   SOD_CHECK(c_->accepting_size() > 0, "dispatch on a cluster with no accepting workers");
   SOD_CHECK(!specs.empty(), "dispatch of zero segments");
   SOD_CHECK(!opt_.speculate || opt_.checkpoint_every > 0,

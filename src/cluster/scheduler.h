@@ -66,6 +66,7 @@ enum class EventKind {
   CheckpointTaken,        ///< in-flight segment state landed in the home store
   SpeculativeDispatched,  ///< straggler backup attempt launched from a checkpoint
   AttemptCancelled,       ///< losing attempt of a speculative race stopped
+  ProgramRejected,        ///< admission gate refused the program; nothing ships
 };
 
 const char* event_name(EventKind k);
@@ -122,6 +123,21 @@ struct DispatchOptions {
   /// meaningful with checkpoint_every > 0; exposed so benches can ablate
   /// resume against restart-from-capture under one checkpoint cadence.
   bool resume_from_checkpoint = true;
+  /// Skip refresh_primitive_statics scans for classes the whole-program
+  /// analyzer proved statics-pure (no reachable PUTSTATIC of a primitive
+  /// static).  Bit-identical by construction — an unwritten static always
+  /// compares equal and ships zero bytes — so this is purely a hot-path
+  /// win; exposed so benches can ablate it.
+  bool statics_skip = true;
+};
+
+/// Counters for the statics-refresh hot path (one instance per engine):
+/// how many per-class scans ran, how many the purity facts skipped, and
+/// the wire bytes of fields that actually differed.
+struct StaticsRefreshStats {
+  size_t scans = 0;
+  size_t skipped = 0;
+  size_t bytes = 0;
 };
 
 struct Placement {
@@ -172,8 +188,13 @@ std::vector<mig::SegmentSpec> split_top_frames(int k);
 /// the fields that actually differed (identical values ship nothing, so
 /// replaying the refresh after a re-dispatch is idempotent).  Ref statics
 /// are left alone: at a worker they are stubs that resolve against home's
-/// *current* fields, so they stay fresh by construction.
-size_t refresh_primitive_statics(mig::SodNode& src, mig::SodNode& dst);
+/// *current* fields, so they stay fresh by construction.  With `facts`,
+/// classes proved statics-pure are skipped without scanning (legal because
+/// an unwritten primitive static always bit-compares equal); `stats`, when
+/// given, accumulates scan/skip/byte counters.
+size_t refresh_primitive_statics(mig::SodNode& src, mig::SodNode& dst,
+                                 const analysis::ProgramFacts* facts = nullptr,
+                                 StaticsRefreshStats* stats = nullptr);
 
 /// Queue-depth autoscaler: joins standby workers when the mean accepting
 /// queue depth exceeds the high-water mark and drains the newest joiner
@@ -273,6 +294,8 @@ class Scheduler {
   int resumes() const { return resumed_total_; }
   int speculations() const { return speculated_total_; }
   int cancellations() const { return cancelled_total_; }
+  /// Statics-refresh scan/skip/byte counters over the scheduler's lifetime.
+  const StaticsRefreshStats& statics_stats() const { return statics_stats_; }
   /// Home-side checkpoint store (newest resumable state per segment).
   const CheckpointStore& store() const { return store_; }
   /// Straggler detector driving speculative re-dispatch.
@@ -336,6 +359,7 @@ class Scheduler {
   std::vector<RefForward> forwards_;
   CheckpointStore store_;
   AttemptTracker tracker_;
+  StaticsRefreshStats statics_stats_;
   int seq_ = 0;
   int round_ = -1;
   int completed_total_ = 0;

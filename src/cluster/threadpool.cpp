@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
   cv_work_.notify_all();
@@ -24,13 +24,13 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::ensure_lane(size_t n) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (lanes_.size() < n) lanes_.resize(n);
 }
 
 void ThreadPool::submit(size_t lane, std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     SOD_CHECK(!stop_, "submit after shutdown");
     if (lanes_.size() <= lane) lanes_.resize(lane + 1);
     lanes_[lane].q.push_back(std::move(job));
@@ -40,8 +40,8 @@ void ThreadPool::submit(size_t lane, std::function<void()> job) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_idle_.wait(lk, [this] { return pending_ == 0; });
+  MutexLock lk(mu_);
+  while (pending_ != 0) cv_idle_.wait(lk);
 }
 
 size_t ThreadPool::find_runnable() const {
@@ -52,13 +52,16 @@ size_t ThreadPool::find_runnable() const {
 }
 
 void ThreadPool::worker_main() {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   while (true) {
-    size_t lane = npos;
-    cv_work_.wait(lk, [&] {
+    // Explicit wait loop (no predicate lambda): the thread-safety analysis
+    // can track the scoped lock through condition_variable_any::wait, but
+    // not a capture that touches guarded members from a nested closure.
+    size_t lane = find_runnable();
+    while (lane == npos && !(stop_ && pending_ == 0)) {
+      cv_work_.wait(lk);
       lane = find_runnable();
-      return lane != npos || (stop_ && pending_ == 0);
-    });
+    }
     if (lane == npos) return;  // shutdown and nothing left to run
 
     // Claim the lane and drain it FIFO.  Jobs submitted to this lane while

@@ -17,6 +17,8 @@
 #include <thread>
 #include <vector>
 
+#include "support/thread_annotations.h"
+
 namespace sod::cluster {
 
 class ThreadPool {
@@ -49,16 +51,16 @@ class ThreadPool {
 
   void worker_main();
   /// Returns the index of an unclaimed lane with queued work, or npos.
-  size_t find_runnable() const;
+  size_t find_runnable() const SOD_REQUIRES(mu_);
 
   static constexpr size_t npos = static_cast<size_t>(-1);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_work_;  ///< lane became runnable / shutdown
-  std::condition_variable cv_idle_;  ///< pending_ hit zero
-  std::vector<Lane> lanes_;
-  size_t pending_ = 0;  ///< queued + running jobs
-  bool stop_ = false;
+  mutable Mutex mu_;
+  std::condition_variable_any cv_work_;  ///< lane became runnable / shutdown
+  std::condition_variable_any cv_idle_;  ///< pending_ hit zero
+  std::vector<Lane> lanes_ SOD_GUARDED_BY(mu_);
+  size_t pending_ SOD_GUARDED_BY(mu_) = 0;  ///< queued + running jobs
+  bool stop_ SOD_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

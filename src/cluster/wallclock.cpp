@@ -45,7 +45,15 @@ struct WallClockEngine::Task {
 };
 
 WallClockEngine::WallClockEngine(Cluster& c, PlacementPolicy& policy, WallClockOptions opt)
-    : c_(&c), policy_(&policy), opt_(opt) {}
+    : c_(&c), policy_(&policy), opt_(opt) {
+  // Same admission announcement as the virtual-time Scheduler: a program
+  // that failed the cluster's static analysis is rejected up front and
+  // run() refuses to ship any of its class images.
+  if (!c.admission().admitted) {
+    RecursiveMutexLock lk(mu_);
+    emit_locked(EventKind::ProgramRejected, c.home_now(), -1, -1);
+  }
+}
 
 WallClockEngine::~WallClockEngine() = default;
 
@@ -56,17 +64,17 @@ int64_t WallClockEngine::sleep_ns_for(VDur virt) const {
 
 void WallClockEngine::fail_after(int completions, int worker) {
   SOD_CHECK(completions >= 0, "fail_after with a negative completion count");
-  std::lock_guard<std::recursive_mutex> lk(mu_);
+  RecursiveMutexLock lk(mu_);
   plans_.push_back(FailurePlan{completions, worker, false});
 }
 
 void WallClockEngine::fail_worker(int worker) {
-  std::lock_guard<std::recursive_mutex> lk(mu_);
+  RecursiveMutexLock lk(mu_);
   do_fail_locked(worker);
 }
 
 int WallClockEngine::add_worker(const WorkerSpec& spec) {
-  std::lock_guard<std::recursive_mutex> lk(mu_);
+  RecursiveMutexLock lk(mu_);
   SOD_CHECK(out_ == nullptr, "add_worker during a wall-clock round");
   int id = c_->add_worker(spec);
   if (pool_) pool_->ensure_lane(static_cast<size_t>(id) + 1);
@@ -75,7 +83,7 @@ int WallClockEngine::add_worker(const WorkerSpec& spec) {
 }
 
 void WallClockEngine::drain_worker(int id) {
-  std::lock_guard<std::recursive_mutex> lk(mu_);
+  RecursiveMutexLock lk(mu_);
   SOD_CHECK(out_ == nullptr, "drain_worker during a wall-clock round");
   c_->drain_worker(id);
   emit_locked(EventKind::WorkerDraining, c_->home_now(), -1, id);
@@ -115,6 +123,7 @@ void WallClockEngine::place_locked(size_t i) {
   t.req.cls = entry_cls;
   t.req.state_bytes = cs.wire_size();
   t.req.class_image_bytes = home.program().class_image(entry_cls).size();
+  t.req.msp_state_slots = c_->facts().class_msp_state_slots(entry_cls);
   // The policy may read worker clocks: placements only happen while every
   // lane is quiescent (round start, or sequential mode's chain points).
   int w = policy_->choose(*c_, t.req);
@@ -146,7 +155,7 @@ void WallClockEngine::place_locked(size_t i) {
   // ship, so fault-free virtual timestamps match the twin bit for bit.
   // The lane only replays the transfer as a wall sleep (ship_job).
   auto seg = std::make_unique<mig::Segment>(dst);
-  seg->objman().set_home_gate(&mu_);
+  seg->objman().set_home_gate(&mu_.native());
   seg->objman().bind_home(&home, home_tid_, t.spec.depth_hi, c_->link(w));
   seg->restore(t.cs);
   t.seg = std::move(seg);
@@ -213,14 +222,14 @@ void WallClockEngine::ship_job(size_t i, int attempt) {
   // the overlap (or its absence, on a small pool) is real wall time.
   int64_t ship_ns = 0;
   {
-    std::lock_guard<std::recursive_mutex> lk(mu_);
+    RecursiveMutexLock lk(mu_);
     Task& t = tasks_[i];
     if (t.attempts != attempt) return;  // stale: the segment was re-dispatched
     ship_ns = t.ship_sleep_ns;
   }
   if (ship_ns > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(ship_ns));
 
-  std::lock_guard<std::recursive_mutex> lk(mu_);
+  RecursiveMutexLock lk(mu_);
   Task& t = tasks_[i];
   if (t.attempts != attempt) return;
   t.st = Task::St::Restored;
@@ -240,7 +249,7 @@ void WallClockEngine::restore_job(size_t i, int attempt) {
   int64_t ship_ns = 0;
   int w = -1;
   {
-    std::lock_guard<std::recursive_mutex> lk(mu_);
+    RecursiveMutexLock lk(mu_);
     Task& t = tasks_[i];
     if (t.attempts != attempt) return;  // stale: the segment was re-dispatched
     ship_ns = t.ship_sleep_ns;
@@ -253,11 +262,11 @@ void WallClockEngine::restore_job(size_t i, int attempt) {
   mig::SodNode& home = c_->home();
   mig::SodNode& dst = c_->worker(w);
   auto seg = std::make_unique<mig::Segment>(dst);
-  seg->objman().set_home_gate(&mu_);
+  seg->objman().set_home_gate(&mu_.native());
   seg->objman().bind_home(&home, home_tid_, tasks_[i].spec.depth_hi, c_->link(w));
   seg->restore(tasks_[i].cs);
 
-  std::lock_guard<std::recursive_mutex> lk(mu_);
+  RecursiveMutexLock lk(mu_);
   Task& t = tasks_[i];
   if (t.attempts != attempt) {
     t.faults_accum += seg->objman().stats().faults;  // doomed attempt's work still counts
@@ -276,7 +285,7 @@ void WallClockEngine::exec_job(size_t i, int attempt) {
   int64_t relay_ns = 0;
   int w = -1;
   {
-    std::lock_guard<std::recursive_mutex> lk(mu_);
+    RecursiveMutexLock lk(mu_);
     Task& t = tasks_[i];
     if (t.attempts != attempt || t.st != Task::St::Restored || !t.seg) return;
     w = t.pl.worker;
@@ -288,7 +297,8 @@ void WallClockEngine::exec_job(size_t i, int attempt) {
     seg->objman().install(dst);
     if (i > 0) {
       Task& up = tasks_[i - 1];
-      size_t stat_bytes = refresh_primitive_statics(home, dst);
+      size_t stat_bytes = refresh_primitive_statics(
+          home, dst, opt_.statics_skip ? &c_->facts() : nullptr, &statics_stats_);
       v_in = up.result;
       if (up.pl.worker != w) {
         // Worker -> home -> worker relay of the 16-byte result message.
@@ -303,7 +313,11 @@ void WallClockEngine::exec_job(size_t i, int attempt) {
                                 c_->link(w).transfer_time(kResultMsgBytes));
         if (v_in.tag == bc::Ty::Ref && v_in.r != bc::kNull) {
           // Cross-worker ref chaining: forward the home handle, fetch the
-          // body lazily on first touch (see Scheduler::prepare).
+          // body lazily on first touch (see Scheduler::prepare).  The
+          // escape facts are load-bearing: the forwarding entry was only
+          // retained for classes the analyzer proved can leak a ref.
+          SOD_CHECK(c_->facts().class_ref_escape(up.pl.cls),
+                    "ref result from a class the analyzer proved escape-free");
           SOD_CHECK(up.home_result.tag == bc::Ty::Ref && up.home_result.r != bc::kNull,
                     "cross-worker ref result missing from the forwarding table");
           v_in = bc::Value::of_ref(dst.vm().heap().alloc_stub(up.home_result.r));
@@ -331,7 +345,7 @@ void WallClockEngine::exec_job(size_t i, int attempt) {
   // serialization charge — the same point Scheduler::execute reads it.
   VDur completed_at = dst.node().clock.now();
 
-  std::lock_guard<std::recursive_mutex> lk(mu_);
+  RecursiveMutexLock lk(mu_);
   Task& t = tasks_[i];
   if (t.attempts != attempt) {
     // The worker was failed while we executed; this attempt lost.  Its
@@ -351,7 +365,9 @@ void WallClockEngine::exec_job(size_t i, int attempt) {
   auto rep = mig::write_back(*seg, home, home_tid_, bottom ? t.spec.depth_hi : 0, result,
                              c_->link(w));
   out_->writeback_bytes += rep.bytes;
-  t.home_result = rep.home_result;
+  // Ref-forwarding entries only for classes that can actually chain a ref
+  // (mirrors Scheduler::write_back).
+  if (c_->facts().class_ref_escape(t.pl.cls)) t.home_result = rep.home_result;
   t.seg = std::move(seg);
   t.post_wb_clock = dst.node().clock.now();
   t.completed_wall_ms = ms_since(round_t0_);
@@ -400,6 +416,8 @@ void WallClockEngine::process_failure_plans_locked() {
 DispatchOutcome WallClockEngine::run(int home_tid, const std::vector<mig::SegmentSpec>& specs) {
   mig::SodNode& home = c_->home();
   ++round_;
+  SOD_CHECK(c_->admission().admitted,
+            "dispatch of a program that failed admission (see Cluster::admission())");
   SOD_CHECK(c_->accepting_size() > 0, "dispatch on a cluster with no accepting workers");
   SOD_CHECK(!specs.empty(), "dispatch of zero segments");
   for (size_t i = 0; i < specs.size(); ++i) {
@@ -433,13 +451,13 @@ DispatchOutcome WallClockEngine::run(int home_tid, const std::vector<mig::Segmen
   wall_completed_ms_.assign(tasks_.size(), 0.0);
   round_t0_ = std::chrono::steady_clock::now();
 
-  std::unique_lock<std::recursive_mutex> lk(mu_);
+  RecursiveMutexLock lk(mu_);
   out_ = &out;
   // Fresh fetch hooks for every worker while all lanes are idle: lane
   // threads read the hook mid-guest-run, so it must never be reassigned
   // once jobs are in flight.
   for (int w = 0; w < c_->size(); ++w)
-    c_->worker(w).enable_class_fetch(&home, c_->link(w), &mu_);
+    c_->worker(w).enable_class_fetch(&home, c_->link(w), &mu_.native());
   // Failure plans already due (scheduled in a previous round) fire before
   // placement so a lost worker never receives this round's segments.
   process_failure_plans_locked();

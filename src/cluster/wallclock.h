@@ -42,6 +42,7 @@
 
 #include "cluster/scheduler.h"
 #include "cluster/threadpool.h"
+#include "support/thread_annotations.h"
 
 namespace sod::cluster {
 
@@ -55,6 +56,10 @@ struct WallClockOptions {
   /// time.  1.0 sleeps the full modelled transfer; benches dial it down to
   /// keep runs fast while preserving relative overlap.
   double dilation = 1.0;
+  /// Skip refresh_primitive_statics scans for classes the whole-program
+  /// analyzer proved statics-pure (same ablation switch as
+  /// DispatchOptions::statics_skip; bit-identical either way).
+  bool statics_skip = true;
 };
 
 /// The wall-clock twin of Scheduler::run.  One engine persists across
@@ -86,12 +91,19 @@ class WallClockEngine {
   void drain_worker(int id);
 
   /// Totally ordered (by the home mutex) event log across all rounds.
-  const std::vector<Event>& log() const { return log_; }
-  bool exactly_once() const { return exactly_once_log(log_); }
+  /// These accessors read engine state without the home mutex: they are
+  /// meant for the quiescent instants between runs (no lane job can be
+  /// writing), which the thread-safety analysis cannot express.
+  const std::vector<Event>& log() const SOD_NO_THREAD_SAFETY_ANALYSIS { return log_; }
+  bool exactly_once() const SOD_NO_THREAD_SAFETY_ANALYSIS { return exactly_once_log(log_); }
   int rounds() const { return round_ + 1; }
-  int completions() const { return completed_total_; }
-  int workers_lost() const { return lost_total_; }
-  int redispatches() const { return redispatched_total_; }
+  int completions() const SOD_NO_THREAD_SAFETY_ANALYSIS { return completed_total_; }
+  int workers_lost() const SOD_NO_THREAD_SAFETY_ANALYSIS { return lost_total_; }
+  int redispatches() const SOD_NO_THREAD_SAFETY_ANALYSIS { return redispatched_total_; }
+  /// Statics-refresh scan/skip/byte counters over the engine's lifetime.
+  const StaticsRefreshStats& statics_stats() const SOD_NO_THREAD_SAFETY_ANALYSIS {
+    return statics_stats_;
+  }
 
   /// Wall milliseconds from the last run()'s start to each segment's
   /// completion write-back, indexed by segment.
@@ -102,26 +114,27 @@ class WallClockEngine {
  private:
   struct Task;
 
-  void emit_locked(EventKind kind, VDur at, int segment, int worker, int attempt = 0);
+  void emit_locked(EventKind kind, VDur at, int segment, int worker, int attempt = 0)
+      SOD_REQUIRES(mu_);
   /// Policy placement + virtual ship + virtual restore of segment i, all
   /// on the home thread with lanes quiescent — the same operation order as
   /// Scheduler::dispatch, which is what makes fault-free virtual
   /// timestamps bit-identical.  Enqueues nothing.
-  void place_locked(size_t i);
+  void place_locked(size_t i) SOD_REQUIRES(mu_);
   /// Queue-depth re-dispatch of segment i to a survivor (any thread, other
   /// lanes live: no clock reads, no destination-clock charges).
-  void redispatch_locked(size_t i);
+  void redispatch_locked(size_t i) SOD_REQUIRES(mu_);
   /// Wall-only ship of an initially-placed segment: sleeps the modelled
   /// transfer on the destination lane, then marks the task executable.
-  void submit_ship(size_t i);
+  void submit_ship(size_t i) SOD_REQUIRES(mu_);
   void ship_job(size_t i, int attempt);
   /// Full lane-side restore of a re-dispatched attempt (fault path only).
-  void submit_restore(size_t i);
+  void submit_restore(size_t i) SOD_REQUIRES(mu_);
   void restore_job(size_t i, int attempt);
   void exec_job(size_t i, int attempt);
-  void do_fail_locked(int worker);
-  void process_failure_plans_locked();
-  int pick_failure_target_locked() const;
+  void do_fail_locked(int worker) SOD_REQUIRES(mu_);
+  void process_failure_plans_locked() SOD_REQUIRES(mu_);
+  int pick_failure_target_locked() const SOD_REQUIRES(mu_);
   int64_t sleep_ns_for(VDur virt) const;
 
   Cluster* c_;
@@ -132,8 +145,10 @@ class WallClockEngine {
   /// The home mutex: guards the home SodNode, the cluster membership and
   /// queue accounting, the event log, every Task, and the outcome under
   /// construction.  Recursive because gated callees (write-back resolving
-  /// stubs, fetches during a gated section) re-enter gated paths.
-  mutable std::recursive_mutex mu_;
+  /// stubs, fetches during a gated section) re-enter gated paths — always
+  /// through raw native() handles, which the thread-safety analysis treats
+  /// as opaque (exactly right for re-entrant acquisition).
+  mutable RecursiveMutex mu_;
   std::condition_variable_any cv_;
 
   struct FailurePlan {
@@ -141,18 +156,22 @@ class WallClockEngine {
     int worker;
     bool fired = false;
   };
-  std::vector<FailurePlan> plans_;
-  std::vector<Event> log_;
-  int seq_ = 0;
-  int round_ = -1;
-  int completed_total_ = 0;
-  int lost_total_ = 0;
-  int redispatched_total_ = 0;
+  std::vector<FailurePlan> plans_ SOD_GUARDED_BY(mu_);
+  std::vector<Event> log_ SOD_GUARDED_BY(mu_);
+  StaticsRefreshStats statics_stats_ SOD_GUARDED_BY(mu_);
+  int seq_ SOD_GUARDED_BY(mu_) = 0;
+  int round_ = -1;  ///< home thread only (run() entry/exit)
+  int completed_total_ SOD_GUARDED_BY(mu_) = 0;
+  int lost_total_ SOD_GUARDED_BY(mu_) = 0;
+  int redispatched_total_ SOD_GUARDED_BY(mu_) = 0;
 
-  // Live only inside run().
+  // Live only inside run().  `tasks_` is written under the mutex while
+  // lanes run, but run() also reads it after pool_->wait_idle() with the
+  // mutex dropped (every job has drained) — a quiescence argument the
+  // analysis cannot express, so it stays unannotated.
   int home_tid_ = -1;
   std::vector<Task> tasks_;
-  DispatchOutcome* out_ = nullptr;
+  DispatchOutcome* out_ SOD_GUARDED_BY(mu_) = nullptr;
   std::chrono::steady_clock::time_point round_t0_{};
   std::vector<double> wall_completed_ms_;
   double last_round_wall_ms_ = 0;

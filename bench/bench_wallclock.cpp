@@ -15,6 +15,9 @@
 //
 // The wall_* columns are wall-clock measurements and vary run to run;
 // scripts/bench_diff.py skips them (and any *_ns column) when gating.
+// Each engine row also reports the home stripe-lock telemetry (lock_acq
+// is deterministic for a failure-free run; the wait-side counters are
+// wall-side and exempt) — see the home_shards bench for the full sweep.
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -44,6 +47,7 @@ struct RunRec {
   double wall_mean_ms = 0;   // wall engine only; 0 for the virtual reference
   double wall_total_ms = 0;
   size_t writeback_bytes = 0;
+  mig::ShardContention lock;  // home stripe telemetry, wall engine only
   bool ok = false;
   bool exactly_once = true;
 };
@@ -103,6 +107,7 @@ RunRec run_once(int threads, int rounds) {
   rec.ok = rr.reason == svm::StopReason::Done &&
            c.home().vm().thread(tid).result.as_i64() == spec.bench_expected;
   rec.exactly_once = engine ? engine->exactly_once() : sched->exactly_once();
+  if (engine) rec.lock = engine->total_contention();
   rec.virt_total_ms = c.home().node().clock.now().ms();
   if (rec.segments > 0) {
     rec.virt_mean_ms = virt_sum_ms / rec.segments;
@@ -117,10 +122,11 @@ int run(const cli::ScenarioOptions& opt) {
               kSegmentsPerRound);
 
   Table t({"mode", "segments", "virt_mean_ms", "virt_total_ms", "wall_mean_ms",
-           "wall_total_ms"});
+           "wall_total_ms", "lock_acq", "wall_contended", "lock_wait_ns",
+           "lock_max_wait_ns", "wall_max_queue"});
   RunRec ref = run_once(0, rounds);
   t.row({"virtual", std::to_string(ref.segments), fmt("%.3f", ref.virt_mean_ms),
-         fmt("%.3f", ref.virt_total_ms), "-", "-"});
+         fmt("%.3f", ref.virt_total_ms), "-", "-", "-", "-", "-", "-", "-"});
 
   bool all_ok = ref.ok && ref.exactly_once;
   if (!ref.ok) std::fprintf(stderr, "wallclock: virtual reference run failed\n");
@@ -131,7 +137,10 @@ int run(const cli::ScenarioOptions& opt) {
     RunRec r = run_once(threads, rounds);
     t.row({"threads-" + std::to_string(threads), std::to_string(r.segments),
            fmt("%.3f", r.virt_mean_ms), fmt("%.3f", r.virt_total_ms),
-           fmt("%.3f", r.wall_mean_ms), fmt("%.3f", r.wall_total_ms)});
+           fmt("%.3f", r.wall_mean_ms), fmt("%.3f", r.wall_total_ms),
+           std::to_string(r.lock.acquisitions), std::to_string(r.lock.contended),
+           std::to_string(r.lock.wait_ns), std::to_string(r.lock.max_wait_ns),
+           std::to_string(r.lock.max_queue)});
     if (!r.ok) {
       std::fprintf(stderr, "wallclock: threads-%d run failed\n", threads);
       all_ok = false;

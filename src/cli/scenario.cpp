@@ -176,6 +176,10 @@ bool parse_scenario_flags(const std::vector<std::string>& args, ScenarioOptions&
       opt.wallclock = true;
     } else if (a == "--wallclock") {
       opt.wallclock = true;
+    } else if (a == "--home-shards") {
+      if (!parse_int_flag(args, i, "--home-shards", 1, 64, "a shard count in 1..64",
+                          opt.home_shards))
+        return false;
     } else if (a == "--policy") {
       if (i + 1 >= args.size()) {
         std::fprintf(stderr, "sodctl: --policy requires a value\n");

@@ -60,6 +60,11 @@ struct ScenarioOptions {
   /// Wall-clock execution with the default thread count (one per worker).
   /// Implied by --threads N.
   bool wallclock = false;
+  /// Home shard count for cluster scenarios (1..64; 0 = scenario default
+  /// of 1).  Splits home-side state behind per-shard stripe locks in the
+  /// wall-clock engine; virtual-time results are bit-identical at any
+  /// value.
+  int home_shards = 0;
   /// Session count for trace-driven load scenarios (0 = scenario default).
   int sessions = 0;
   /// Arrival process for trace-driven load scenarios ("" = scenario
@@ -143,8 +148,8 @@ bool maybe_write_json(const ScenarioOptions& opt, const std::string& bench_name,
 /// Shared flag parsing for sodctl and the standalone scenario binaries.
 /// Understands --smoke, --nodes N, --policy P, --churn X, --fail-at N,
 /// --autoscale, --checkpoint-every N, --speculate, --threads N,
-/// --wallclock, --sessions N, --arrival A, --seed S, --json [path] and
-/// collects the rest into opt.extra.
+/// --wallclock, --home-shards N, --sessions N, --arrival A, --seed S,
+/// --json [path] and collects the rest into opt.extra.
 /// Returns false on malformed flags (one diagnostic per error on stderr,
 /// quoting the offending token once with the accepted range).
 /// `default_json_name` fills json_path when --json is given without a

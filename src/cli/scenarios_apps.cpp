@@ -46,6 +46,7 @@ int run_table1_app(const AppSpec& spec, const ScenarioOptions& opt) {
 
   sod::cluster::Cluster c(p);
   c.add_uniform_workers(nodes - 1);
+  if (opt.home_shards > 0) c.set_home_shards(opt.home_shards);
   auto policy = sod::cluster::make_policy(*kind);
   SodNode& home = c.home();
 

@@ -59,6 +59,9 @@ int usage(std::FILE* to) {
                "                            pool (one thread per worker) instead of the\n"
                "                            virtual-time scheduler; results are identical\n"
                "  --threads N               wall-clock pool size (implies --wallclock)\n"
+               "  --home-shards N           home shard count 1..64 for cluster scenarios\n"
+               "                            (lock-striped home state in the wall-clock\n"
+               "                            engine; virtual results are identical)\n"
                "  --sessions N              session count for trace-driven load scenarios\n"
                "  --arrival A               arrival process for load traces\n"
                "                            (poisson | onoff | soak)\n"

@@ -60,6 +60,16 @@ class Cluster {
   const analysis::ProgramFacts& facts() const { return admission_.facts; }
   const bc::Program& program() const { return *prog_; }
 
+  /// Fixes the home shard count (1..64) for this cluster.  Must be set
+  /// before a Scheduler or WallClockEngine is constructed over the cluster:
+  /// both copy/point at the map at construction, and the partitioned home
+  /// tables (object table, ref-forwarding table, checkpoint store) are laid
+  /// out from it.  Defaults to 1 — the unsharded layout, bit-identical to
+  /// the pre-sharding engine.
+  void set_home_shards(int shards) { shard_map_ = mig::HomeShardMap(shards); }
+  const mig::HomeShardMap& shard_map() const { return shard_map_; }
+  int home_shards() const { return shard_map_.shards(); }
+
   /// Adds a worker; returns its id (0-based, dense, stable).  Legal
   /// mid-run: the next dispatch round sees the new worker.  Names must be
   /// unique across the cluster's lifetime so placement traces and bench
@@ -143,6 +153,7 @@ class Cluster {
 
   const bc::Program* prog_;
   analysis::AdmissionReport admission_;
+  mig::HomeShardMap shard_map_{1};
   std::unique_ptr<mig::SodNode> home_;
   std::vector<Slot> workers_;
 };

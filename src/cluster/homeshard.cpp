@@ -1,0 +1,31 @@
+#include "cluster/homeshard.h"
+
+#include <algorithm>
+
+namespace sod::cluster {
+
+void RefForwardTable::configure(const mig::HomeShardMap* map) {
+  map_ = map;
+  parts_.assign(map != nullptr ? static_cast<size_t>(map->shards()) : 1, {});
+  next_seq_ = 0;
+}
+
+void RefForwardTable::record(const RefForward& f) {
+  size_t shard =
+      map_ != nullptr ? static_cast<size_t>(map_->shard_of_segment(f.round, f.segment)) : 0;
+  parts_[shard].push_back(Numbered{f, next_seq_++});
+}
+
+std::vector<RefForward> RefForwardTable::ordered() const {
+  std::vector<Numbered> all;
+  all.reserve(static_cast<size_t>(next_seq_));
+  for (const auto& part : parts_) all.insert(all.end(), part.begin(), part.end());
+  std::sort(all.begin(), all.end(),
+            [](const Numbered& a, const Numbered& b) { return a.seq < b.seq; });
+  std::vector<RefForward> out;
+  out.reserve(all.size());
+  for (const Numbered& n : all) out.push_back(n.fwd);
+  return out;
+}
+
+}  // namespace sod::cluster

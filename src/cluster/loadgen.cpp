@@ -1,6 +1,7 @@
 #include "cluster/loadgen.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <map>
@@ -149,6 +150,7 @@ struct SessState {
   VDur first_step{};
   int64_t result = INT64_MIN;
   double ms = 0;
+  double wall_ms = 0;  ///< wall-clock mode: replay start -> session done
 };
 
 }  // namespace
@@ -222,12 +224,18 @@ LoadGenResult run_loadgen(const Trace& trace, const LoadGenOptions& opts) {
     c.add_uniform_workers(4);
   else
     for (const auto& w : opts.workers) c.add_worker(w);
+  // Shard the home-side tables before any engine copies the map: the
+  // scheduler's and engine's partition layouts are fixed at construction.
+  if (opts.home_shards > 0) c.set_home_shards(opts.home_shards);
+  res.home_shards = c.home_shards();
   auto policy = make_policy(opts.policy);
   Scheduler sched(c, *policy, opts.dispatch);
   std::unique_ptr<WallClockEngine> engine;
   if (opts.wallclock) {
     WallClockOptions wopt;
     wopt.threads = opts.threads;
+    wopt.dilation = opts.dilation;
+    wopt.home_dilation = opts.home_dilation;
     wopt.statics_skip = opts.dispatch.statics_skip;
     engine = std::make_unique<WallClockEngine>(c, *policy, wopt);
   }
@@ -308,6 +316,12 @@ LoadGenResult run_loadgen(const Trace& trace, const LoadGenOptions& opts) {
   size_t next = 0, inj_next = 0;
   std::vector<int> active;
   int done_count = 0;
+  const auto wall_t0 = std::chrono::steady_clock::now();
+  auto wall_ms_since_start = [&wall_t0] {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                     wall_t0)
+        .count();
+  };
   auto admit = [&] {
     while (next < n && trace.sessions[next].arrival.ns <= c.home_now().ns) {
       while (inj_next < trace.injections.size() &&
@@ -375,6 +389,7 @@ LoadGenResult run_loadgen(const Trace& trace, const LoadGenOptions& opts) {
       ss.ok = ss.result == expected[static_cast<size_t>(ts.app)];
     }
     ss.ms = (c.home_now() - ts.arrival).ms();
+    if (engine) ss.wall_ms = wall_ms_since_start();
     if (writes_statics[static_cast<size_t>(lock_key(ts))]) {
       auto it = lock.find(lock_key(ts));
       if (it != lock.end() && it->second == pick) lock.erase(it);
@@ -393,6 +408,7 @@ LoadGenResult run_loadgen(const Trace& trace, const LoadGenOptions& opts) {
       ++tn.completed;
       tn.completion_ms.add(st[i].ms);
       res.completion_ms.add(st[i].ms);
+      if (engine) res.wall_completion_ms.add(st[i].wall_ms);
       tn.mean_wait_ms += (st[i].first_step - ts.arrival).ms();
     }
     all_ok = all_ok && st[i].ok;
@@ -414,6 +430,14 @@ LoadGenResult run_loadgen(const Trace& trace, const LoadGenOptions& opts) {
     res.speculated = sched.speculations();
     res.cancelled = sched.cancellations();
     res.checkpoints = sched.checkpoints();
+  } else {
+    mig::ShardContention total = engine->total_contention();
+    res.lock_acq = total.acquisitions;
+    res.wall_contended = total.contended;
+    res.lock_wait_ns = total.wait_ns;
+    res.lock_max_wait_ns = total.max_wait_ns;
+    res.wall_max_queue = total.max_queue;
+    res.wall_total_ms = wall_ms_since_start();
   }
   res.total_ms = c.home_now().ms();
   return res;

@@ -137,6 +137,16 @@ struct LoadGenOptions {
   /// scheduler (`threads` pool threads; 0 = one per worker).
   bool wallclock = false;
   int threads = 0;
+  /// Home shard count for the shared cluster (1..64; 0 keeps the cluster
+  /// default of 1).  Virtual-time results are bit-identical at any value;
+  /// under the wall-clock engine it sets how many home-side service
+  /// windows can overlap in wall time.
+  int home_shards = 0;
+  /// Wall-clock engine sleep scales (wall-clock mode only): `dilation`
+  /// scales communication sleeps, `home_dilation` scales home-side service
+  /// sleeps (< 0 follows dilation) — see WallClockOptions.
+  double dilation = 1.0;
+  double home_dilation = -1.0;
 };
 
 struct TenantStats {
@@ -188,6 +198,23 @@ struct LoadGenResult {
   std::vector<double> session_ms;
   /// Home virtual clock at the end of the replay, ms.
   double total_ms = 0;
+
+  // Wall-clock engine telemetry (zero in virtual mode).
+  /// Home shard count the replay ran with.
+  int home_shards = 1;
+  /// Stripe-lock acquisitions summed over shards — deterministic for a
+  /// failure-free replay (one per gate section / service window).
+  uint64_t lock_acq = 0;
+  /// Contended acquisitions / total + worst wait / deepest queue — real
+  /// wall-side interleaving, never gated on by the bench differ.
+  uint64_t wall_contended = 0;
+  uint64_t lock_wait_ns = 0;
+  uint64_t lock_max_wait_ns = 0;
+  uint64_t wall_max_queue = 0;
+  /// Per-session wall milliseconds (replay start -> session's final
+  /// round done) and the whole replay's wall time, wall-clock mode only.
+  Percentiles wall_completion_ms;
+  double wall_total_ms = 0;
 };
 
 /// Replays `trace` against one shared cluster.  Deterministic in virtual

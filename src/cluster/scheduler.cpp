@@ -151,6 +151,10 @@ Scheduler::Scheduler(Cluster& c, PlacementPolicy& policy, DispatchOptions opt)
       policy_(&policy),
       opt_(opt),
       tracker_(AttemptTracker::Config{opt.straggler_factor}) {
+  // Partition the home-side tables by the cluster's shard map (fixed at
+  // construction; set_home_shards must run before the scheduler is built).
+  forwards_.configure(&c.shard_map());
+  store_.configure(&c.shard_map());
   // Admission verdict is part of the event stream: a program that failed
   // the cluster's static analysis is announced up front, and run() refuses
   // to ship any of its class images.
@@ -298,6 +302,7 @@ void Scheduler::dispatch(size_t i) {
   sim::deliver(home.node(), dst.node(), c_->link(w), pl.shipped_bytes);
 
   t.seg = std::make_unique<mig::Segment>(dst);
+  t.seg->objman().set_shard_map(&c_->shard_map());
   t.seg->objman().bind_home(&home, home_tid_, t.spec.depth_hi, c_->link(w));
   t.seg->restore(cs);
   pl.restored_at = dst.node().clock.now();
@@ -332,6 +337,7 @@ Scheduler::CheckpointRestore Scheduler::restore_from_checkpoint(
   sim::deliver(home.node(), dst.node(), c_->link(w), r.pl.shipped_bytes);
 
   r.seg = std::make_unique<mig::Segment>(dst);
+  r.seg->objman().set_shard_map(&c_->shard_map());
   r.seg->objman().bind_home(&home, home_tid_, t.spec.depth_hi, c_->link(w));
   r.seg->restore(ck.ckpt.state);
   r.pl.restored_at = dst.node().clock.now();
@@ -464,8 +470,8 @@ void Scheduler::prepare(size_t i) {
                   "cross-worker ref result missing from the forwarding table");
         bc::Ref stub = dst.vm().heap().alloc_stub(up.home_result.r);
         v_in = bc::Value::of_ref(stub);
-        forwards_.push_back(RefForward{round_, static_cast<int>(i) - 1, up.pl.worker,
-                                       pl.worker, up.home_result.r});
+        forwards_.record(RefForward{round_, static_cast<int>(i) - 1, up.pl.worker,
+                                    pl.worker, up.home_result.r});
         ++out_->ref_forwards;
       }
     }

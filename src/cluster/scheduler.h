@@ -48,6 +48,7 @@
 
 #include "cluster/checkpoint.h"
 #include "cluster/cluster.h"
+#include "cluster/homeshard.h"
 
 namespace sod::cluster {
 
@@ -301,17 +302,12 @@ class Scheduler {
   /// Straggler detector driving speculative re-dispatch.
   const AttemptTracker& tracker() const { return tracker_; }
 
-  /// One home-mediated ref forward: segment `segment`'s result, produced
-  /// on `src_worker`, delivered to `dst_worker` as a handle for home ref
-  /// `home_ref`.
-  struct RefForward {
-    int round;
-    int segment;
-    int src_worker;
-    int dst_worker;
-    bc::Ref home_ref;
-  };
-  const std::vector<RefForward>& ref_forwards() const { return forwards_; }
+  /// All home-mediated ref forwards so far, in append order (the
+  /// RefForwardTable reassembles its home-shard partitions by sequence
+  /// number, so this view is identical at any shard count).
+  std::vector<RefForward> ref_forwards() const { return forwards_.ordered(); }
+  /// The sharded forwarding table itself (partition layout introspection).
+  const RefForwardTable& forward_table() const { return forwards_; }
 
  private:
   struct Task;
@@ -356,7 +352,7 @@ class Scheduler {
   std::unique_ptr<Autoscaler> autoscaler_;
   std::vector<FailurePlan> plans_;
   std::vector<Event> log_;
-  std::vector<RefForward> forwards_;
+  RefForwardTable forwards_;
   CheckpointStore store_;
   AttemptTracker tracker_;
   StaticsRefreshStats statics_stats_;

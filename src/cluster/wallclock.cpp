@@ -15,12 +15,58 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// Which engine's ordered lock this thread is inside (null when none).
+/// The gate protocol's nested-section detection: a gate acquire from a
+/// thread that already holds the ordered lock (write-back resolving stubs,
+/// the home thread's virtual restore firing class fetches) must take
+/// nothing, and the runtime checks below enforce the no-re-entry and
+/// one-stripe rules the static analysis cannot see.
+thread_local const void* tl_ordered_owner = nullptr;
+/// Stripes this thread holds (0 or 1 by protocol rule; checked).
+thread_local int tl_stripe_depth = 0;
+
+/// Scoped ordered-lock: a ScopedLock twin that additionally maintains
+/// tl_ordered_owner — including across the unlock/lock pair inside
+/// std::condition_variable_any::wait — and panics on re-entry, which the
+/// old recursive home mutex would have silently allowed.
+class SOD_SCOPED_CAPABILITY OrderedLock {
+ public:
+  OrderedLock(const void* engine, Mutex& mu) SOD_ACQUIRE(mu) : e_(engine), mu_(mu) {
+    SOD_CHECK(tl_ordered_owner != e_, "home ordered lock re-entered on one thread");
+    mu_.lock();
+    tl_ordered_owner = e_;
+  }
+  ~OrderedLock() SOD_RELEASE() {
+    if (held_) {
+      tl_ordered_owner = nullptr;
+      mu_.unlock();
+    }
+  }
+  void lock() SOD_ACQUIRE() {
+    mu_.lock();
+    tl_ordered_owner = e_;
+    held_ = true;
+  }
+  void unlock() SOD_RELEASE() {
+    tl_ordered_owner = nullptr;
+    mu_.unlock();
+    held_ = false;
+  }
+  OrderedLock(const OrderedLock&) = delete;
+  OrderedLock& operator=(const OrderedLock&) = delete;
+
+ private:
+  const void* e_;
+  Mutex& mu_;
+  bool held_ = true;
+};
+
 }  // namespace
 
-/// Per-segment lifecycle state for the current round.  Guarded by the home
-/// mutex except where noted: `spec` and `cs` are immutable once run()
-/// captured them, and an exec job owns `seg` exclusively (moved out under
-/// the mutex) while it runs guest code unlocked.
+/// Per-segment lifecycle state for the current round.  Guarded by the
+/// ordered lock except where noted: `spec` and `cs` are immutable once
+/// run() captured them, and an exec job owns `seg` exclusively (moved out
+/// under the lock) while it runs guest code unlocked.
 struct WallClockEngine::Task {
   enum class St { Unplaced, Shipped, Restored, Completed };
 
@@ -37,6 +83,10 @@ struct WallClockEngine::Task {
   bc::Value home_result{};
   int faults_accum = 0;   ///< faults of attempts that were replaced or lost
   int64_t ship_sleep_ns = 0;
+  /// Home-side serde cost of this attempt's outgoing ship, already charged
+  /// virtually at placement; the lane serves its wall twin on the
+  /// segment's stripe before sleeping the transfer.
+  VDur serve_cost{};
   double completed_wall_ms = 0;
   /// Worker clock right after the completion write-back; the downstream
   /// relay reads this snapshot instead of the live clock (the Scheduler
@@ -45,12 +95,14 @@ struct WallClockEngine::Task {
 };
 
 WallClockEngine::WallClockEngine(Cluster& c, PlacementPolicy& policy, WallClockOptions opt)
-    : c_(&c), policy_(&policy), opt_(opt) {
+    : c_(&c), policy_(&policy), opt_(opt), shard_map_(c.shard_map()) {
+  stripes_.reserve(static_cast<size_t>(shard_map_.shards()));
+  for (int s = 0; s < shard_map_.shards(); ++s) stripes_.push_back(std::make_unique<Stripe>());
   // Same admission announcement as the virtual-time Scheduler: a program
   // that failed the cluster's static analysis is rejected up front and
   // run() refuses to ship any of its class images.
   if (!c.admission().admitted) {
-    RecursiveMutexLock lk(mu_);
+    OrderedLock lk(this, order_mu_);
     emit_locked(EventKind::ProgramRejected, c.home_now(), -1, -1);
   }
 }
@@ -62,19 +114,122 @@ int64_t WallClockEngine::sleep_ns_for(VDur virt) const {
   return ns > 0 ? static_cast<int64_t>(ns) : 0;
 }
 
+int64_t WallClockEngine::home_sleep_ns_for(VDur virt) const {
+  double scale = opt_.home_dilation < 0 ? opt_.dilation : opt_.home_dilation;
+  double ns = scale * static_cast<double>(virt.ns);
+  return ns > 0 ? static_cast<int64_t>(ns) : 0;
+}
+
+void WallClockEngine::lock_stripe(int shard) {
+  Stripe& s = *stripes_[static_cast<size_t>(shard)];
+  if (s.mu.try_lock()) {
+    ++s.stats.acquisitions;
+    uint64_t queued = s.waiters.load(std::memory_order_relaxed);
+    if (queued > s.stats.max_queue) s.stats.max_queue = queued;
+    return;
+  }
+  uint64_t queued = s.waiters.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto t0 = std::chrono::steady_clock::now();
+  s.mu.lock();
+  auto waited = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           t0)
+          .count());
+  s.waiters.fetch_sub(1, std::memory_order_relaxed);
+  ++s.stats.acquisitions;
+  ++s.stats.contended;
+  s.stats.wait_ns += waited;
+  if (waited > s.stats.max_wait_ns) s.stats.max_wait_ns = waited;
+  if (queued > s.stats.max_queue) s.stats.max_queue = queued;
+}
+
+void WallClockEngine::unlock_stripe(int shard) {
+  stripes_[static_cast<size_t>(shard)]->mu.unlock();
+}
+
+void WallClockEngine::stripe_service(uint32_t key, VDur home_time) {
+  SOD_CHECK(tl_ordered_owner != this, "stripe service while holding the ordered lock");
+  SOD_CHECK(tl_stripe_depth == 0, "stripe service while holding a stripe");
+  int shard = shard_map_.shard_of(key);
+  lock_stripe(shard);
+  int64_t ns = home_sleep_ns_for(home_time);
+  if (ns > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+  unlock_stripe(shard);
+}
+
+mig::HomeGate::Section WallClockEngine::acquire(uint32_t key)
+    SOD_NO_THREAD_SAFETY_ANALYSIS {
+  mig::HomeGate::Section s;
+  if (tl_ordered_owner == this) {
+    // Already inside this engine's ordered section (home-thread restore,
+    // write-back stub resolution): hold nothing, every op is a no-op.
+    s.nested = true;
+    return s;
+  }
+  SOD_CHECK(tl_stripe_depth == 0, "gate section opened while already holding a stripe");
+  s.shard = shard_map_.shard_of(key);
+  lock_stripe(s.shard);
+  ++tl_stripe_depth;
+  order_mu_.lock();
+  tl_ordered_owner = this;
+  s.ordered_live = true;
+  return s;
+}
+
+void WallClockEngine::service(mig::HomeGate::Section& s, VDur home_time)
+    SOD_NO_THREAD_SAFETY_ANALYSIS {
+  if (s.nested) return;
+  SOD_CHECK(s.ordered_live, "gate service after release or double service");
+  tl_ordered_owner = nullptr;
+  order_mu_.unlock();
+  s.ordered_live = false;
+  int64_t ns = home_sleep_ns_for(home_time);
+  if (ns > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+
+void WallClockEngine::release(mig::HomeGate::Section& s) SOD_NO_THREAD_SAFETY_ANALYSIS {
+  if (s.nested) return;
+  if (s.ordered_live) {
+    tl_ordered_owner = nullptr;
+    order_mu_.unlock();
+    s.ordered_live = false;
+  }
+  if (s.shard >= 0) {
+    unlock_stripe(s.shard);
+    --tl_stripe_depth;
+    s.shard = -1;
+  }
+}
+
+std::vector<mig::ShardContention> WallClockEngine::shard_contention() const {
+  std::vector<mig::ShardContention> out;
+  out.reserve(stripes_.size());
+  for (const auto& s : stripes_) {
+    MutexLock lk(s->mu);
+    out.push_back(s->stats);
+  }
+  return out;
+}
+
+mig::ShardContention WallClockEngine::total_contention() const {
+  mig::ShardContention total;
+  for (const mig::ShardContention& s : shard_contention()) total += s;
+  return total;
+}
+
 void WallClockEngine::fail_after(int completions, int worker) {
   SOD_CHECK(completions >= 0, "fail_after with a negative completion count");
-  RecursiveMutexLock lk(mu_);
+  OrderedLock lk(this, order_mu_);
   plans_.push_back(FailurePlan{completions, worker, false});
 }
 
 void WallClockEngine::fail_worker(int worker) {
-  RecursiveMutexLock lk(mu_);
+  OrderedLock lk(this, order_mu_);
   do_fail_locked(worker);
 }
 
 int WallClockEngine::add_worker(const WorkerSpec& spec) {
-  RecursiveMutexLock lk(mu_);
+  OrderedLock lk(this, order_mu_);
   SOD_CHECK(out_ == nullptr, "add_worker during a wall-clock round");
   int id = c_->add_worker(spec);
   if (pool_) pool_->ensure_lane(static_cast<size_t>(id) + 1);
@@ -83,7 +238,7 @@ int WallClockEngine::add_worker(const WorkerSpec& spec) {
 }
 
 void WallClockEngine::drain_worker(int id) {
-  RecursiveMutexLock lk(mu_);
+  OrderedLock lk(this, order_mu_);
   SOD_CHECK(out_ == nullptr, "drain_worker during a wall-clock round");
   c_->drain_worker(id);
   emit_locked(EventKind::WorkerDraining, c_->home_now(), -1, id);
@@ -144,8 +299,8 @@ void WallClockEngine::place_locked(size_t i) {
   if (!dst.class_shipped(entry_cls)) pl.shipped_bytes += t.req.class_image_bytes;
   dst.mark_class_shipped(entry_cls);
 
-  home.node().charge_host(
-      home.serde().cost(t.req.state_bytes, static_cast<int>(cs.frames.size())));
+  t.serve_cost = home.serde().cost(t.req.state_bytes, static_cast<int>(cs.frames.size()));
+  home.node().charge_host(t.serve_cost);
   sim::deliver(home.node(), dst.node(), c_->link(w), pl.shipped_bytes);
   t.ship_sleep_ns = sleep_ns_for(c_->link(w).transfer_time(pl.shipped_bytes));
 
@@ -153,9 +308,12 @@ void WallClockEngine::place_locked(size_t i) {
   // Scheduler::dispatch does it: restore's class fetches and round trips
   // advance the home clock BEFORE the next segment's serde charge and
   // ship, so fault-free virtual timestamps match the twin bit for bit.
-  // The lane only replays the transfer as a wall sleep (ship_job).
+  // The lane only replays the transfer as a wall sleep (ship_job).  Class
+  // fetches fired by this restore see tl_ordered_owner == this and gate as
+  // nested no-ops.
   auto seg = std::make_unique<mig::Segment>(dst);
-  seg->objman().set_home_gate(&mu_.native());
+  seg->objman().set_home_gate(this);
+  seg->objman().set_shard_map(&shard_map_);
   seg->objman().bind_home(&home, home_tid_, t.spec.depth_hi, c_->link(w));
   seg->restore(t.cs);
   t.seg = std::move(seg);
@@ -202,8 +360,8 @@ void WallClockEngine::redispatch_locked(size_t i) {
   // destination clock is NOT advanced here (its lane may be mid-guest-run);
   // the re-shipped attempt's virtual arrival is folded in by the restore
   // charges on the destination's own lane.
-  home.node().charge_host(
-      home.serde().cost(t.req.state_bytes, static_cast<int>(t.cs.frames.size())));
+  t.serve_cost = home.serde().cost(t.req.state_bytes, static_cast<int>(t.cs.frames.size()));
+  home.node().charge_host(t.serve_cost);
   t.ship_sleep_ns = sleep_ns_for(c_->link(w).transfer_time(pl.shipped_bytes));
   t.st = Task::St::Shipped;
   t.exec_enqueued = false;
@@ -218,18 +376,26 @@ void WallClockEngine::submit_ship(size_t i) {
 
 void WallClockEngine::ship_job(size_t i, int attempt) {
   // The virtual ship and restore were already charged at placement; this
-  // job just occupies the destination lane for the modelled transfer so
-  // the overlap (or its absence, on a small pool) is real wall time.
+  // job serves the home-side serialization window on the segment's stripe,
+  // then occupies the destination lane for the modelled transfer so the
+  // overlap (or its absence, on a small pool) is real wall time.
   int64_t ship_ns = 0;
+  VDur serve{};
+  int round = 0;
   {
-    RecursiveMutexLock lk(mu_);
+    OrderedLock lk(this, order_mu_);
     Task& t = tasks_[i];
     if (t.attempts != attempt) return;  // stale: the segment was re-dispatched
     ship_ns = t.ship_sleep_ns;
+    serve = t.serve_cost;
+    round = round_;
   }
+  // Ships of segments mapped to other home shards overlap this window;
+  // ships on the same shard convoy — with one shard, all of them do.
+  stripe_service(mig::HomeShardMap::key_segment(round, static_cast<int>(i)), serve);
   if (ship_ns > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(ship_ns));
 
-  RecursiveMutexLock lk(mu_);
+  OrderedLock lk(this, order_mu_);
   Task& t = tasks_[i];
   if (t.attempts != attempt) return;
   t.st = Task::St::Restored;
@@ -247,14 +413,19 @@ void WallClockEngine::submit_restore(size_t i) {
 // why virtual timestamps downstream of a worker loss are not contracted.
 void WallClockEngine::restore_job(size_t i, int attempt) {
   int64_t ship_ns = 0;
+  VDur serve{};
+  int round = 0;
   int w = -1;
   {
-    RecursiveMutexLock lk(mu_);
+    OrderedLock lk(this, order_mu_);
     Task& t = tasks_[i];
     if (t.attempts != attempt) return;  // stale: the segment was re-dispatched
     ship_ns = t.ship_sleep_ns;
+    serve = t.serve_cost;
+    round = round_;
     w = t.pl.worker;
   }
+  stripe_service(mig::HomeShardMap::key_segment(round, static_cast<int>(i)), serve);
   if (ship_ns > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(ship_ns));
 
   // Worker-local restore: this lane owns the destination node.  Home is
@@ -262,11 +433,12 @@ void WallClockEngine::restore_job(size_t i, int attempt) {
   mig::SodNode& home = c_->home();
   mig::SodNode& dst = c_->worker(w);
   auto seg = std::make_unique<mig::Segment>(dst);
-  seg->objman().set_home_gate(&mu_.native());
+  seg->objman().set_home_gate(this);
+  seg->objman().set_shard_map(&shard_map_);
   seg->objman().bind_home(&home, home_tid_, tasks_[i].spec.depth_hi, c_->link(w));
   seg->restore(tasks_[i].cs);
 
-  RecursiveMutexLock lk(mu_);
+  OrderedLock lk(this, order_mu_);
   Task& t = tasks_[i];
   if (t.attempts != attempt) {
     t.faults_accum += seg->objman().stats().faults;  // doomed attempt's work still counts
@@ -285,7 +457,7 @@ void WallClockEngine::exec_job(size_t i, int attempt) {
   int64_t relay_ns = 0;
   int w = -1;
   {
-    RecursiveMutexLock lk(mu_);
+    OrderedLock lk(this, order_mu_);
     Task& t = tasks_[i];
     if (t.attempts != attempt || t.st != Task::St::Restored || !t.seg) return;
     w = t.pl.worker;
@@ -330,8 +502,9 @@ void WallClockEngine::exec_job(size_t i, int attempt) {
   }
   if (relay_ns > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(relay_ns));
 
-  // Guest execution, unlocked: faults and class loads self-gate.  This
-  // lane owns the destination node, so its clock reads need no lock.
+  // Guest execution, unlocked: faults and class loads self-gate through
+  // the home gate (stripe -> ordered).  This lane owns the destination
+  // node, so its clock reads need no lock.
   mig::SodNode& dst = c_->worker(w);
   if (i > 0) {
     // deliver() needs the pending-call breakpoint of the restored frame.
@@ -345,35 +518,50 @@ void WallClockEngine::exec_job(size_t i, int attempt) {
   // serialization charge — the same point Scheduler::execute reads it.
   VDur completed_at = dst.node().clock.now();
 
-  RecursiveMutexLock lk(mu_);
-  Task& t = tasks_[i];
-  if (t.attempts != attempt) {
-    // The worker was failed while we executed; this attempt lost.  Its
-    // write-back is suppressed — a non-winning attempt never mutates home.
-    t.faults_accum += seg->objman().stats().faults;
-    return;
+  // The completion section is deliberately NOT split around the write-back
+  // service below: a worker loss between "write-back landed" and
+  // "completion recorded" would re-dispatch a task whose heap effects
+  // already reached home, breaking exactly-once.  The wall service window
+  // is appended after the whole section instead.
+  VDur wb_serve{};
+  int wb_round = 0;
+  {
+    OrderedLock lk(this, order_mu_);
+    Task& t = tasks_[i];
+    if (t.attempts != attempt) {
+      // The worker was failed while we executed; this attempt lost.  Its
+      // write-back is suppressed — a non-winning attempt never mutates home.
+      t.faults_accum += seg->objman().stats().faults;
+      return;
+    }
+    t.pl.executed_at = executed_at;
+    t.pl.completed_at = completed_at;
+    t.result = result;
+    c_->note_completed(w, t.est_cost);
+    t.st = Task::St::Completed;
+    ++completed_total_;
+    policy_->observe(*c_, t.req, t.pl);
+    mig::SodNode& home = c_->home();
+    bool bottom = i + 1 == tasks_.size();
+    auto rep = mig::write_back(*seg, home, home_tid_, bottom ? t.spec.depth_hi : 0, result,
+                               c_->link(w));
+    out_->writeback_bytes += rep.bytes;
+    // Ref-forwarding entries only for classes that can actually chain a ref
+    // (mirrors Scheduler::write_back).
+    if (c_->facts().class_ref_escape(t.pl.cls)) t.home_result = rep.home_result;
+    t.seg = std::move(seg);
+    t.post_wb_clock = dst.node().clock.now();
+    t.completed_wall_ms = ms_since(round_t0_);
+    wb_serve = home.serde().cost(rep.bytes);
+    wb_round = round_;
+    emit_locked(EventKind::SegmentCompleted, t.pl.completed_at, static_cast<int>(i), w,
+                attempt);
+    process_failure_plans_locked();
+    cv_.notify_all();
   }
-  t.pl.executed_at = executed_at;
-  t.pl.completed_at = completed_at;
-  t.result = result;
-  c_->note_completed(w, t.est_cost);
-  t.st = Task::St::Completed;
-  ++completed_total_;
-  policy_->observe(*c_, t.req, t.pl);
-  mig::SodNode& home = c_->home();
-  bool bottom = i + 1 == tasks_.size();
-  auto rep = mig::write_back(*seg, home, home_tid_, bottom ? t.spec.depth_hi : 0, result,
-                             c_->link(w));
-  out_->writeback_bytes += rep.bytes;
-  // Ref-forwarding entries only for classes that can actually chain a ref
-  // (mirrors Scheduler::write_back).
-  if (c_->facts().class_ref_escape(t.pl.cls)) t.home_result = rep.home_result;
-  t.seg = std::move(seg);
-  t.post_wb_clock = dst.node().clock.now();
-  t.completed_wall_ms = ms_since(round_t0_);
-  emit_locked(EventKind::SegmentCompleted, t.pl.completed_at, static_cast<int>(i), w, attempt);
-  process_failure_plans_locked();
-  cv_.notify_all();
+  // Home-side apply of the landed write-back, served on the segment's
+  // stripe: applies on other shards overlap this wall window.
+  stripe_service(mig::HomeShardMap::key_segment(wb_round, static_cast<int>(i)), wb_serve);
 }
 
 void WallClockEngine::do_fail_locked(int worker) {
@@ -451,13 +639,13 @@ DispatchOutcome WallClockEngine::run(int home_tid, const std::vector<mig::Segmen
   wall_completed_ms_.assign(tasks_.size(), 0.0);
   round_t0_ = std::chrono::steady_clock::now();
 
-  RecursiveMutexLock lk(mu_);
+  OrderedLock lk(this, order_mu_);
   out_ = &out;
   // Fresh fetch hooks for every worker while all lanes are idle: lane
   // threads read the hook mid-guest-run, so it must never be reassigned
   // once jobs are in flight.
   for (int w = 0; w < c_->size(); ++w)
-    c_->worker(w).enable_class_fetch(&home, c_->link(w), &mu_.native());
+    c_->worker(w).enable_class_fetch(&home, c_->link(w), this);
   // Failure plans already due (scheduled in a previous round) fire before
   // placement so a lost worker never receives this round's segments.
   process_failure_plans_locked();
@@ -499,8 +687,8 @@ DispatchOutcome WallClockEngine::run(int home_tid, const std::vector<mig::Segmen
   }
   out_ = nullptr;
   lk.unlock();
-  // Stale attempts still queued on lanes drain to no-ops before we read
-  // the tasks without the lock.
+  // Stale attempts still queued on lanes (and the bottom segment's
+  // trailing write-back service) drain before we read the tasks unlocked.
   pool_->wait_idle();
 
   last_round_wall_ms_ = ms_since(round_t0_);

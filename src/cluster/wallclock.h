@@ -2,14 +2,28 @@
 //
 // Executes dispatched segments genuinely concurrently: one ThreadPool lane
 // per cluster worker runs that worker's restore and execute jobs (a worker
-// SodNode stays single-threaded by construction), while every home-side
-// touch — write-backs, ref forwarding, statics refreshes, object-fault
-// round trips, on-demand class fetches, placement accounting, and the
-// event log — is serialized through one home mutex, mirroring the paper's
-// single home-side agent thread.  Virtual clocks still advance exactly as
-// in the simulator (execution charges the worker clock, communication
-// charges both ends), so one run yields both wall-clock and virtual-time
-// columns.
+// SodNode stays single-threaded by construction), while home-side state is
+// guarded by a two-level lock protocol (the HomeGate of sod/homegate.h):
+//
+//   - one non-recursive ordered mutex (`order_mu_`) serializes every home
+//     virtual-clock charge, tool-interface read, heap access, placement
+//     accounting step, and event-log append — the single ordered path that
+//     keeps virtual-time results bit-identical at any shard count;
+//   - N stripe mutexes, one per home shard (deterministic HomeShardMap
+//     over object refs, class ids, and (round, segment) keys), serialize
+//     the *wall-time service windows* of home-side work: serialization of
+//     a shipped segment, a fetched object batch, a class image, a landed
+//     write-back.  Services of different shards overlap in wall time;
+//     services of the same shard convoy — with one shard this degenerates
+//     to the old single-home-mutex bottleneck, which is exactly what the
+//     home_shards bench sweeps against.
+//
+// Lock order is always stripe -> ordered, a thread holds at most one
+// stripe, and a gate acquired from a thread already inside the engine's
+// ordered section (write-back resolving stubs, the home-thread restore's
+// class fetches) detects that through a thread-local and becomes a nested
+// no-op — so no capability is ever re-entered and clang's -Wthread-safety
+// can check the whole engine.
 //
 // Determinism contract with the virtual-time Scheduler (the twin CI
 // asserts against): for the same cluster topology, policy, and workload, a
@@ -20,7 +34,9 @@
 // virtual-clock accounting runs on the home thread in the Scheduler's
 // exact operation order (placement charge, ship, restore per segment; the
 // execute/write-back chain is dependency-ordered), so wall interleavings
-// only decide when real work happens, never what the clocks read.  NOT
+// only decide when real work happens, never what the clocks read.  Home
+// sharding preserves this bit for bit at any shard count: stripes only
+// schedule wall-side service sleeps, never virtual charges.  NOT
 // contracted after a worker loss: re-dispatch placements and the virtual
 // timestamps downstream of them (the wall engine picks survivors by queue
 // depth and restores on the survivor's live lane instead of consulting the
@@ -29,19 +45,22 @@
 //
 // Communication is surfaced in wall time as real sleeps: a segment ship, a
 // cross-worker result relay, each sleeps its virtual transfer time scaled
-// by `dilation`.  With >= 2 pool threads those sleeps (and the restores
-// they gate) overlap upstream execution — the Fig. 1(c) freeze-time hiding
-// measured on real cores instead of simulated.
+// by `dilation`; home-side service windows sleep their virtual service
+// time scaled by `home_dilation` while holding only their stripe.  With
+// >= 2 pool threads those sleeps (and the restores they gate) overlap
+// upstream execution — the Fig. 1(c) freeze-time hiding measured on real
+// cores instead of simulated.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "cluster/scheduler.h"
 #include "cluster/threadpool.h"
+#include "sod/homegate.h"
 #include "support/thread_annotations.h"
 
 namespace sod::cluster {
@@ -56,6 +75,12 @@ struct WallClockOptions {
   /// time.  1.0 sleeps the full modelled transfer; benches dial it down to
   /// keep runs fast while preserving relative overlap.
   double dilation = 1.0;
+  /// Real-sleep seconds per virtual second of home-side *service* time
+  /// (segment/object/class serialization, write-back apply), slept inside
+  /// stripe service windows.  < 0 (default) follows `dilation`.  The
+  /// home_shards bench turns this up to amplify the µs-scale serde costs
+  /// into measurable stripe convoys while dialing transfers down.
+  double home_dilation = -1.0;
   /// Skip refresh_primitive_statics scans for classes the whole-program
   /// analyzer proved statics-pure (same ablation switch as
   /// DispatchOptions::statics_skip; bit-identical either way).
@@ -64,10 +89,12 @@ struct WallClockOptions {
 
 /// The wall-clock twin of Scheduler::run.  One engine persists across
 /// dispatch rounds; its event log and counters span the whole scenario.
-class WallClockEngine {
+/// The engine is its own HomeGate: worker-lane object faults and class
+/// fetches gate through it (see the file comment for the protocol).
+class WallClockEngine : private mig::HomeGate {
  public:
   WallClockEngine(Cluster& c, PlacementPolicy& policy, WallClockOptions opt = {});
-  ~WallClockEngine();
+  ~WallClockEngine() override;
 
   Cluster& cluster() { return *c_; }
 
@@ -77,10 +104,10 @@ class WallClockEngine {
   DispatchOutcome run(int home_tid, const std::vector<mig::SegmentSpec>& specs);
 
   /// Schedules a worker loss once `completions` SegmentCompleted events
-  /// have fired over the engine's lifetime; processed under the home mutex
-  /// at the triggering completion, so the loss lands mid-round while other
-  /// lanes are executing.  `worker` < 0 picks the accepting worker with
-  /// the deepest queue at the firing instant.
+  /// have fired over the engine's lifetime; processed under the ordered
+  /// lock at the triggering completion, so the loss lands mid-round while
+  /// other lanes are executing.  `worker` < 0 picks the accepting worker
+  /// with the deepest queue at the firing instant.
   void fail_after(int completions, int worker = -1);
   /// Fails a worker immediately (between or during rounds); outstanding
   /// attempts on it are re-dispatched to survivors and their in-flight
@@ -90,9 +117,9 @@ class WallClockEngine {
   int add_worker(const WorkerSpec& spec);
   void drain_worker(int id);
 
-  /// Totally ordered (by the home mutex) event log across all rounds.
-  /// These accessors read engine state without the home mutex: they are
-  /// meant for the quiescent instants between runs (no lane job can be
+  /// Totally ordered (by the ordered lock) event log across all rounds.
+  /// These accessors read engine state without the lock: they are meant
+  /// for the quiescent instants between runs (no lane job can be
   /// writing), which the thread-safety analysis cannot express.
   const std::vector<Event>& log() const SOD_NO_THREAD_SAFETY_ANALYSIS { return log_; }
   bool exactly_once() const SOD_NO_THREAD_SAFETY_ANALYSIS { return exactly_once_log(log_); }
@@ -105,6 +132,13 @@ class WallClockEngine {
     return statics_stats_;
   }
 
+  /// Home shard count (the cluster's map, fixed at construction).
+  int home_shards() const { return shard_map_.shards(); }
+  /// Per-stripe lock telemetry, indexed by shard (quiescent read).
+  std::vector<mig::ShardContention> shard_contention() const;
+  /// Sum over stripes (max fields folded with max).
+  mig::ShardContention total_contention() const;
+
   /// Wall milliseconds from the last run()'s start to each segment's
   /// completion write-back, indexed by segment.
   const std::vector<double>& last_completed_wall_ms() const { return wall_completed_ms_; }
@@ -114,64 +148,93 @@ class WallClockEngine {
  private:
   struct Task;
 
+  /// One home shard's stripe: the lock plus its telemetry.  The stats
+  /// fields are written holding `mu` and read at quiescence; `waiters` is
+  /// touched before the lock is held, so it is atomic.
+  struct Stripe {
+    Mutex mu;
+    std::atomic<uint64_t> waiters{0};
+    mig::ShardContention stats SOD_GUARDED_BY(mu);
+  };
+
+  // mig::HomeGate — the worker-lane side of the protocol.  Conditional
+  // locking (nested detection, try-then-wait stripes) is beyond the static
+  // analysis, so the implementations opt out and the protocol is enforced
+  // by the thread-locals' runtime checks instead.
+  mig::HomeGate::Section acquire(uint32_t key) override;
+  void service(mig::HomeGate::Section& s, VDur home_time) override;
+  void release(mig::HomeGate::Section& s) override;
+
+  /// Locks stripe `shard`, recording acquisition/contention telemetry.
+  void lock_stripe(int shard) SOD_NO_THREAD_SAFETY_ANALYSIS;
+  void unlock_stripe(int shard) SOD_NO_THREAD_SAFETY_ANALYSIS;
+  /// Engine-internal service window (ship serde, write-back apply): locks
+  /// the key's stripe, sleeps the dilated home service time, unlocks.
+  /// Must be called without the ordered lock (stripe -> ordered order).
+  void stripe_service(uint32_t key, VDur home_time);
+
   void emit_locked(EventKind kind, VDur at, int segment, int worker, int attempt = 0)
-      SOD_REQUIRES(mu_);
+      SOD_REQUIRES(order_mu_);
   /// Policy placement + virtual ship + virtual restore of segment i, all
   /// on the home thread with lanes quiescent — the same operation order as
   /// Scheduler::dispatch, which is what makes fault-free virtual
   /// timestamps bit-identical.  Enqueues nothing.
-  void place_locked(size_t i) SOD_REQUIRES(mu_);
+  void place_locked(size_t i) SOD_REQUIRES(order_mu_);
   /// Queue-depth re-dispatch of segment i to a survivor (any thread, other
   /// lanes live: no clock reads, no destination-clock charges).
-  void redispatch_locked(size_t i) SOD_REQUIRES(mu_);
-  /// Wall-only ship of an initially-placed segment: sleeps the modelled
-  /// transfer on the destination lane, then marks the task executable.
-  void submit_ship(size_t i) SOD_REQUIRES(mu_);
+  void redispatch_locked(size_t i) SOD_REQUIRES(order_mu_);
+  /// Wall-only ship of an initially-placed segment: serves the home serde
+  /// window on the segment's stripe, sleeps the modelled transfer on the
+  /// destination lane, then marks the task executable.
+  void submit_ship(size_t i) SOD_REQUIRES(order_mu_);
   void ship_job(size_t i, int attempt);
   /// Full lane-side restore of a re-dispatched attempt (fault path only).
-  void submit_restore(size_t i) SOD_REQUIRES(mu_);
+  void submit_restore(size_t i) SOD_REQUIRES(order_mu_);
   void restore_job(size_t i, int attempt);
   void exec_job(size_t i, int attempt);
-  void do_fail_locked(int worker) SOD_REQUIRES(mu_);
-  void process_failure_plans_locked() SOD_REQUIRES(mu_);
-  int pick_failure_target_locked() const SOD_REQUIRES(mu_);
+  void do_fail_locked(int worker) SOD_REQUIRES(order_mu_);
+  void process_failure_plans_locked() SOD_REQUIRES(order_mu_);
+  int pick_failure_target_locked() const SOD_REQUIRES(order_mu_);
   int64_t sleep_ns_for(VDur virt) const;
+  int64_t home_sleep_ns_for(VDur virt) const;
 
   Cluster* c_;
   PlacementPolicy* policy_;
   WallClockOptions opt_;
+  mig::HomeShardMap shard_map_;
   std::unique_ptr<ThreadPool> pool_;
 
-  /// The home mutex: guards the home SodNode, the cluster membership and
-  /// queue accounting, the event log, every Task, and the outcome under
-  /// construction.  Recursive because gated callees (write-back resolving
-  /// stubs, fetches during a gated section) re-enter gated paths — always
-  /// through raw native() handles, which the thread-safety analysis treats
-  /// as opaque (exactly right for re-entrant acquisition).
-  mutable RecursiveMutex mu_;
+  /// The ordered home lock: guards the home SodNode, the cluster
+  /// membership and queue accounting, the event log, every Task, and the
+  /// outcome under construction.  Non-recursive: nested entry is detected
+  /// through a thread-local (see OrderedLock / acquire) instead of
+  /// re-locking.
+  mutable Mutex order_mu_;
   std::condition_variable_any cv_;
+  /// One stripe per home shard (unique_ptr: mutexes do not move).
+  std::vector<std::unique_ptr<Stripe>> stripes_;
 
   struct FailurePlan {
     int at_count;
     int worker;
     bool fired = false;
   };
-  std::vector<FailurePlan> plans_ SOD_GUARDED_BY(mu_);
-  std::vector<Event> log_ SOD_GUARDED_BY(mu_);
-  StaticsRefreshStats statics_stats_ SOD_GUARDED_BY(mu_);
-  int seq_ SOD_GUARDED_BY(mu_) = 0;
+  std::vector<FailurePlan> plans_ SOD_GUARDED_BY(order_mu_);
+  std::vector<Event> log_ SOD_GUARDED_BY(order_mu_);
+  StaticsRefreshStats statics_stats_ SOD_GUARDED_BY(order_mu_);
+  int seq_ SOD_GUARDED_BY(order_mu_) = 0;
   int round_ = -1;  ///< home thread only (run() entry/exit)
-  int completed_total_ SOD_GUARDED_BY(mu_) = 0;
-  int lost_total_ SOD_GUARDED_BY(mu_) = 0;
-  int redispatched_total_ SOD_GUARDED_BY(mu_) = 0;
+  int completed_total_ SOD_GUARDED_BY(order_mu_) = 0;
+  int lost_total_ SOD_GUARDED_BY(order_mu_) = 0;
+  int redispatched_total_ SOD_GUARDED_BY(order_mu_) = 0;
 
-  // Live only inside run().  `tasks_` is written under the mutex while
-  // lanes run, but run() also reads it after pool_->wait_idle() with the
-  // mutex dropped (every job has drained) — a quiescence argument the
+  // Live only inside run().  `tasks_` is written under the ordered lock
+  // while lanes run, but run() also reads it after pool_->wait_idle() with
+  // the lock dropped (every job has drained) — a quiescence argument the
   // analysis cannot express, so it stays unannotated.
   int home_tid_ = -1;
   std::vector<Task> tasks_;
-  DispatchOutcome* out_ SOD_GUARDED_BY(mu_) = nullptr;
+  DispatchOutcome* out_ SOD_GUARDED_BY(order_mu_) = nullptr;
   std::chrono::steady_clock::time_point round_t0_{};
   std::vector<double> wall_completed_ms_;
   double last_round_wall_ms_ = 0;

@@ -357,7 +357,10 @@ class WriteBackBuilder {
     // In checkpoint mode, an object whose translated payload is unchanged
     // since the last checkpoint is skipped — home already holds exactly
     // those bytes — and only the delta is charged to the wire.
-    for (const auto& [home_ref, local_ref] : seg_.objman().home_map()) {
+    // home_entries() is sorted by home ref — the canonical record order —
+    // so the wire layout (and the home-side creation ids the applier
+    // allocates in record order) is identical at any home-shard count.
+    for (const auto& [home_ref, local_ref] : seg_.objman().home_entries()) {
       if (deltas_ == nullptr) {
         // Plain write-back: everything ships, straight into the message.
         w.u8(kWbUpdate);

@@ -48,18 +48,21 @@ void SodNode::sync_ti_cost() {
   }
 }
 
-void SodNode::enable_class_fetch(SodNode* home, sim::Link link, std::recursive_mutex* gate) {
+void SodNode::enable_class_fetch(SodNode* home, sim::Link link, HomeGate* gate) {
   vm_->on_class_load = [this, home, link, gate](svm::VM&, uint16_t cls) {
-    auto lk = gate ? std::unique_lock<std::recursive_mutex>(*gate)
-                   : std::unique_lock<std::recursive_mutex>();
+    GateSection section(gate, HomeShardMap::key_class(cls));
     if (class_shipped(cls)) return;
     shipped_.insert(cls);
     size_t img = prog_->class_image(cls).size();
     class_bytes_ += img;
     // Request/response round trip + home-side serialization cost.
     VDur before = node_.clock.now();
-    sim::round_trip(node_, home->node(), link, 64, img, home->serde().cost(img));
+    VDur home_service = home->serde().cost(img);
+    sim::round_trip(node_, home->node(), link, 64, img, home_service);
     class_fetch_time_ += node_.clock.now() - before;
+    // Image serialization served on the class's stripe only: fetches of
+    // classes on other home shards overlap this wall window.
+    section.service(home_service);
   };
 }
 

@@ -10,11 +10,11 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <unordered_set>
 #include <string>
 
 #include "sfs/sfs.h"
+#include "sod/homegate.h"
 #include "sim/net.h"
 #include "svm/natives.h"
 #include "svm/vm.h"
@@ -69,10 +69,12 @@ class SodNode {
   VDur class_fetch_time() const { return class_fetch_time_; }
 
   /// Wire up the on-demand class fetch hook against a home node.  When
-  /// `gate` is non-null (wall-clock mode) the hook serializes its home
-  /// round trip — and the shipped-class set it shares with the dispatcher
-  /// thread — through that mutex.
-  void enable_class_fetch(SodNode* home, sim::Link link, std::recursive_mutex* gate = nullptr);
+  /// `gate` is non-null (wall-clock mode) the hook runs inside a gate
+  /// section keyed by the class id: the home round trip — and the
+  /// shipped-class set it shares with the dispatcher thread — happen on
+  /// the gate's ordered path, and the home-side image serialization is
+  /// served as a wall sleep holding only the class's stripe.
+  void enable_class_fetch(SodNode* home, sim::Link link, HomeGate* gate = nullptr);
 
  private:
   sim::Node node_;

@@ -1,5 +1,7 @@
 #include "sod/objman.h"
 
+#include <algorithm>
+
 namespace sod::mig {
 
 using svm::VM;
@@ -51,12 +53,39 @@ void ObjectManager::bind_home(SodNode* home, int home_tid, int seg_len, sim::Lin
   home_tid_ = home_tid;
   seg_len_ = seg_len;
   link_ = link;
-  home_map_.clear();
+  for (auto& part : home_parts_) part.clear();
   local_map_.clear();
   side_.clear();
   local_stub_origin_.clear();
   static_stub_origin_.clear();
   enter_state_.clear();
+}
+
+void ObjectManager::set_shard_map(const HomeShardMap* map) {
+  shard_map_ = map;
+  home_parts_.assign(map != nullptr ? static_cast<size_t>(map->shards()) : 1, {});
+  local_map_.clear();
+}
+
+std::vector<std::pair<Ref, Ref>> ObjectManager::home_entries() const {
+  std::vector<std::pair<Ref, Ref>> out;
+  out.reserve(local_map_.size());
+  for (const auto& part : home_parts_)
+    for (const auto& [home_ref, local_ref] : part) out.emplace_back(home_ref, local_ref);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t ObjectManager::home_size() const {
+  size_t n = 0;
+  for (const auto& part : home_parts_) n += part.size();
+  return n;
+}
+
+Ref ObjectManager::local_of_home(Ref home_ref) const {
+  const auto& part = home_part(home_ref);
+  auto it = part.find(home_ref);
+  return it == part.end() ? bc::kNull : it->second;
 }
 
 void ObjectManager::register_local_stub(Ref stub, int frame_idx, uint16_t slot) {
@@ -72,8 +101,11 @@ Ref ObjectManager::resolve_stub_home(Ref stub) {
   Ref direct = worker_->vm().heap().stub_home(stub);
   if (direct != bc::kNull) return direct;
   if (!home_) return bc::kNull;
-  auto gate = gate_lock();
+  // Origin lookups are worker-local; only the tool-interface read on home
+  // runs inside a gate section (keyed by the field / slot the stub stands
+  // for — any stable key works, it only picks the stripe).
   if (auto sit = static_stub_origin_.find(stub); sit != static_stub_origin_.end()) {
+    GateSection gate(home_gate_, HomeShardMap::key_class(sit->second));
     Value hv = home_->ti().get_static_field(sit->second);
     home_->sync_ti_cost();
     return hv.tag == bc::Ty::Ref ? hv.r : bc::kNull;
@@ -83,6 +115,7 @@ Ref ObjectManager::resolve_stub_home(Ref stub) {
   auto [frame_idx, slot] = it->second;
   if (frame_idx >= seg_len_) return bc::kNull;
   int home_depth = seg_len_ - 1 - frame_idx;
+  GateSection gate(home_gate_, HomeShardMap::key_segment(frame_idx, slot));
   Value hv = home_->ti().get_local(home_tid_, home_depth, slot);
   home_->sync_ti_cost();
   return hv.tag == bc::Ty::Ref ? hv.r : bc::kNull;
@@ -90,9 +123,8 @@ Ref ObjectManager::resolve_stub_home(Ref stub) {
 
 Ref ObjectManager::fetch(Ref home_ref) {
   SOD_CHECK(home_ && worker_, "fetch without home binding");
-  auto it = home_map_.find(home_ref);
-  if (it != home_map_.end()) return it->second;
-  auto gate = gate_lock();
+  if (Ref cached = local_of_home(home_ref); cached != bc::kNull) return cached;
+  GateSection gate(home_gate_, HomeShardMap::key_ref(home_ref));
 
   // Home side: locate the object and (with prefetch) its neighbourhood up
   // to prefetch_depth_ hops; everything rides one response message.
@@ -111,7 +143,9 @@ Ref ObjectManager::fetch(Ref home_ref) {
       if (d >= prefetch_depth_) continue;
       const svm::Cell& c = hh.cell(cur);
       auto visit = [&](Ref child) {
-        if (child == bc::kNull || depth_of.count(child) || home_map_.count(child)) return;
+        if (child == bc::kNull || depth_of.count(child) ||
+            local_of_home(child) != bc::kNull)
+          return;
         depth_of[child] = d + 1;
         batch.push_back(child);
       };
@@ -132,8 +166,13 @@ Ref ObjectManager::fetch(Ref home_ref) {
   }
 
   // Round trip: request (small) + the whole batch back.
-  sim::round_trip(worker_->node(), home_->node(), link_, 64, w.size(),
-                  locate + home_->serde().cost(w.size(), static_cast<int>(batch.size())));
+  VDur home_service =
+      locate + home_->serde().cost(w.size(), static_cast<int>(batch.size()));
+  sim::round_trip(worker_->node(), home_->node(), link_, 64, w.size(), home_service);
+  // Home is done: drop the ordered path and serve the wall twin of the
+  // home-side work holding only this ref's stripe — fetches of objects on
+  // other shards proceed meanwhile.
+  gate.service(home_service);
 
   ByteReader r(w.bytes());
   uint16_t n = r.u16();
@@ -145,7 +184,7 @@ Ref ObjectManager::fetch(Ref home_ref) {
           side_[side_key(holder, slot)] = home_embedded;
         });
     SOD_CHECK(local != bc::kNull, "worker heap exhausted during object fetch");
-    home_map_[home_id] = local;
+    home_part(home_id)[home_id] = local;
     local_map_[local] = home_id;
     if (i == 0) first = local;
     else ++stats_.prefetched;
@@ -185,9 +224,16 @@ void ObjectManager::bring_static(VM& vm, int64_t field_id) {
   if (cur.r != bc::kNull && !vm.heap().is_stub(cur.r)) return;
 
   if (cur.r != bc::kNull && home_) {  // remote stub standing for the home static
-    auto gate = gate_lock();
-    Value hv = home_->ti().get_static_field(fd.id);
-    home_->sync_ti_cost();
+    Value hv;
+    {
+      // The gate section covers only the home static read: fetch() below
+      // opens its own section keyed by the target ref, and holding this
+      // stripe across it would nest two stripes (the deadlock the lock
+      // order forbids).
+      GateSection gate(home_gate_, HomeShardMap::key_class(fd.id));
+      hv = home_->ti().get_static_field(fd.id);
+      home_->sync_ti_cost();
+    }
     if (hv.tag == bc::Ty::Ref && hv.r != bc::kNull) {
       vm.set_static(fd.id, Value::of_ref(fetch(hv.r)));
       ++repairs_done_;

@@ -18,13 +18,24 @@
 //
 // Home side: the agent thread that serves object requests; here it is the
 // serve_* methods, charged with tool-interface and serialization costs on
-// the home node's clock.
+// the home node's clock.  In wall-clock mode every home touch runs inside
+// a HomeGate section keyed by the home ref (or owning class), so requests
+// for objects on different home shards overlap their service windows while
+// the virtual-clock accounting stays on the gate's ordered path.
+//
+// The home-object table (home ref -> local ref) is partitioned by the
+// HomeShardMap when one is installed: keyed lookups route to the key's
+// shard, and the canonical iteration order for write-backs is
+// home_entries() — sorted by home ref — so the wire record order (and with
+// it the home-side creation ids) is identical at any shard count.
 #pragma once
 
-#include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "sod/homegate.h"
 #include "sod/node.h"
 #include "sod/state.h"
 
@@ -51,25 +62,35 @@ class ObjectManager {
   void unbind_home() { home_ = nullptr; }
 
   /// Serialize every home-side touch (tool-interface reads, object fetch
-  /// round trips) through `gate`.  The wall-clock engine installs its home
-  /// mutex here so concurrent worker lanes never race on the home node;
-  /// nullptr (the default) keeps the lock-free single-threaded behaviour
-  /// of the virtual-time scheduler.  Recursive because a gated caller
-  /// (write-back) may re-enter gated paths (stub resolution).
-  void set_home_gate(std::recursive_mutex* gate) { home_gate_ = gate; }
+  /// round trips) through `gate`.  The wall-clock engine installs itself
+  /// here so concurrent worker lanes take the key's stripe plus the
+  /// ordered home lock; nullptr (the default) keeps the lock-free
+  /// single-threaded behaviour of the virtual-time scheduler.
+  void set_home_gate(HomeGate* gate) { home_gate_ = gate; }
+
+  /// Partition the home-object table by `map` (borrowed; must outlive the
+  /// manager or be reset).  nullptr = single partition.  Set before
+  /// bind_home — rebinding clears the partitions.
+  void set_shard_map(const HomeShardMap* map);
 
   const FaultStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
-  /// home ref -> worker ref for everything fetched so far.
-  const std::unordered_map<Ref, Ref>& home_map() const { return home_map_; }
+  /// Everything fetched so far as (home ref, local ref), sorted by home
+  /// ref — the canonical write-back iteration order, independent of the
+  /// shard count and of hash-map iteration order.
+  std::vector<std::pair<Ref, Ref>> home_entries() const;
+  /// Number of (home, local) identities tracked.
+  size_t home_size() const;
+  /// Local ref of a fetched home object (kNull if never fetched).
+  Ref local_of_home(Ref home_ref) const;
 
   /// Record a (home, local) identity established outside a fetch: a
   /// checkpoint that shipped a locally created object home adopts the new
   /// home id, so later checkpoints and the final write-back treat the
   /// object as an update of that home object instead of re-creating it.
   void adopt_mapping(Ref home_ref, Ref local_ref) {
-    home_map_[home_ref] = local_ref;
+    home_part(home_ref)[home_ref] = local_ref;
     local_map_[local_ref] = home_ref;
   }
 
@@ -110,21 +131,25 @@ class ObjectManager {
   void bring_elem(svm::VM& vm, Ref base, int64_t idx);
   void enter(svm::VM& vm, int64_t uid);
 
-  /// Locks home_gate_ for the enclosing scope when one is installed.
-  std::unique_lock<std::recursive_mutex> gate_lock() const {
-    return home_gate_ ? std::unique_lock<std::recursive_mutex>(*home_gate_)
-                      : std::unique_lock<std::recursive_mutex>();
+  /// The home-table partition holding `home_ref`.
+  std::unordered_map<Ref, Ref>& home_part(Ref home_ref) {
+    return home_parts_[shard_map_ != nullptr ? shard_map_->shard_of_ref(home_ref) : 0];
+  }
+  const std::unordered_map<Ref, Ref>& home_part(Ref home_ref) const {
+    return home_parts_[shard_map_ != nullptr ? shard_map_->shard_of_ref(home_ref) : 0];
   }
 
   SodNode* worker_ = nullptr;
   SodNode* home_ = nullptr;
-  std::recursive_mutex* home_gate_ = nullptr;
+  HomeGate* home_gate_ = nullptr;
+  const HomeShardMap* shard_map_ = nullptr;
   int home_tid_ = -1;
   int seg_len_ = 0;
   sim::Link link_{};
   int prefetch_depth_ = 0;
 
-  std::unordered_map<Ref, Ref> home_map_;   // home -> local
+  /// home -> local, partitioned by shard_map_ (one partition without one).
+  std::vector<std::unordered_map<Ref, Ref>> home_parts_{1};
   std::unordered_map<Ref, Ref> local_map_;  // local -> home
   std::unordered_map<uint64_t, Ref> side_;  // (holder, slot) -> home ref
   std::unordered_map<Ref, std::pair<int, uint16_t>> local_stub_origin_;  // stub -> (frame, slot)

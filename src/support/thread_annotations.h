@@ -6,8 +6,13 @@
 // be annotated, and the analysis needs the CAPABILITY/SCOPED_CAPABILITY
 // types to thread the facts through.  Code that must hand a raw native
 // handle to an un-annotated API (condition variables, C callbacks) uses
-// `native()` — the analysis cannot see through it, which is exactly right
-// for re-entrant acquisition of a recursive mutex.
+// `native()` — the analysis cannot see through it.
+//
+// There is deliberately no recursive mutex here: the wall-clock engine's
+// former re-entrant home mutex is replaced by the two-level home gate
+// (sod/homegate.h), whose nested sections detect an already-held ordered
+// lock through a thread-local instead of re-locking, so every capability
+// the analysis tracks is acquired exactly once.
 #pragma once
 
 #include <mutex>
@@ -27,6 +32,7 @@
 #define SOD_REQUIRES(...) SOD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
 #define SOD_ACQUIRE(...) SOD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
 #define SOD_RELEASE(...) SOD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SOD_TRY_ACQUIRE(...) SOD_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
 #define SOD_NO_THREAD_SAFETY_ANALYSIS SOD_THREAD_ANNOTATION(no_thread_safety_analysis)
 
 namespace sod {
@@ -37,23 +43,11 @@ class SOD_CAPABILITY("mutex") Mutex {
  public:
   void lock() SOD_ACQUIRE() { mu_.lock(); }
   void unlock() SOD_RELEASE() { mu_.unlock(); }
+  bool try_lock() SOD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
   std::mutex& native() { return mu_; }
 
  private:
   std::mutex mu_;
-};
-
-/// Annotated std::recursive_mutex.  The analysis treats it like a plain
-/// capability — recursive re-entry only ever happens through `native()`
-/// handles (home-gate callbacks), which the analysis cannot see.
-class SOD_CAPABILITY("mutex") RecursiveMutex {
- public:
-  void lock() SOD_ACQUIRE() { mu_.lock(); }
-  void unlock() SOD_RELEASE() { mu_.unlock(); }
-  std::recursive_mutex& native() { return mu_; }
-
- private:
-  std::recursive_mutex mu_;
 };
 
 /// RAII scoped lock over an annotated mutex (std::scoped_lock cannot carry
@@ -83,6 +77,5 @@ class SOD_SCOPED_CAPABILITY ScopedLock {
 };
 
 using MutexLock = ScopedLock<Mutex>;
-using RecursiveMutexLock = ScopedLock<RecursiveMutex>;
 
 }  // namespace sod

@@ -170,6 +170,30 @@ TEST(Flags, ParsesThreadsAndWallclock) {
   EXPECT_FALSE(parse_scenario_flags({"--threads", "many"}, opt2, ""));
 }
 
+TEST(Flags, ParsesAndValidatesHomeShards) {
+  ScenarioOptions opt;
+  EXPECT_EQ(opt.home_shards, 0);  // unset = scenario default (1, unsharded)
+  ASSERT_TRUE(parse_scenario_flags({"--home-shards", "1"}, opt, ""));
+  EXPECT_EQ(opt.home_shards, 1);
+  ASSERT_TRUE(parse_scenario_flags({"--home-shards", "64"}, opt, ""));
+  EXPECT_EQ(opt.home_shards, 64);
+  EXPECT_FALSE(parse_scenario_flags({"--home-shards"}, opt, ""));
+  EXPECT_FALSE(parse_scenario_flags({"--home-shards", "0"}, opt, ""));
+  EXPECT_FALSE(parse_scenario_flags({"--home-shards", "65"}, opt, ""));
+  EXPECT_FALSE(parse_scenario_flags({"--home-shards", "four"}, opt, ""));
+  // The shared one-token diagnostic: the offending value quoted exactly
+  // once, followed by the accepted range.
+  ::testing::internal::CaptureStderr();
+  ScenarioOptions opt2;
+  EXPECT_FALSE(parse_scenario_flags({"--home-shards", "128"}, opt2, ""));
+  std::string err = ::testing::internal::GetCapturedStderr();
+  size_t occurrences = 0;
+  for (size_t pos = 0; (pos = err.find("128", pos)) != std::string::npos; ++pos)
+    ++occurrences;
+  EXPECT_EQ(occurrences, 1u) << err;
+  EXPECT_NE(err.find("1..64"), std::string::npos) << err;
+}
+
 // The cluster apps must give the same answer on the wall-clock pool as on
 // the virtual-time scheduler (the acceptance path of
 // `sodctl run fib --nodes 4 --threads 4`).
@@ -183,6 +207,14 @@ TEST(ClusterApps, FibRunsOnTheWallClockEngine) {
     opt.wallclock = true;
     EXPECT_EQ(s->run(opt), 0) << "threads=" << threads;
   }
+  // Sharded home state rides the same path (`--home-shards 4 --threads 4`)
+  // and must not change the app's answer.
+  ScenarioOptions opt;
+  opt.nodes = 4;
+  opt.threads = 4;
+  opt.wallclock = true;
+  opt.home_shards = 4;
+  EXPECT_EQ(s->run(opt), 0) << "home_shards=4";
 }
 
 // Speculative backups launch from the newest checkpoint, so --speculate

@@ -188,6 +188,56 @@ TEST(LoadGenTest, ReplayDeterministic) {
   EXPECT_DOUBLE_EQ(a.completion_ms.p99(), b.completion_ms.p99());
 }
 
+TEST(LoadGenTest, HomeShardsPreserveTheReplayOnBothEngines) {
+  // One failure-free multitenant trace replayed at 1, 2, and 4 home
+  // shards on the virtual scheduler AND the wall-clock engine: every run
+  // must reproduce the unsharded virtual replay bit for bit (results,
+  // session latencies, segments, percentiles), and on the engine the
+  // stripe-acquisition total must be the same at every shard count.
+  TraceConfig cfg;
+  cfg.sessions = 16;
+  cfg.tenants = 3;
+  cfg.apps = 2;
+  cfg.seed = 5;
+  Trace tr = sod::cluster::make_trace(cfg);
+  LoadGenOptions base;
+  auto ref = sod::cluster::run_loadgen(tr, base);
+  ASSERT_TRUE(ref.all_ok);
+  ASSERT_TRUE(ref.exactly_once);
+  EXPECT_EQ(ref.home_shards, 1);
+  EXPECT_EQ(ref.lock_acq, 0u);  // virtual mode: no stripes exist
+  uint64_t engine_acq = 0;
+  for (bool wallclock : {false, true}) {
+    for (int shards : {1, 2, 4}) {
+      LoadGenOptions opts;
+      opts.wallclock = wallclock;
+      opts.threads = wallclock ? 4 : 0;
+      opts.home_shards = shards;
+      auto r = sod::cluster::run_loadgen(tr, opts);
+      std::string where = std::string(wallclock ? "engine" : "virtual") + "/shards=" +
+                          std::to_string(shards);
+      EXPECT_TRUE(r.all_ok) << where;
+      EXPECT_TRUE(r.exactly_once) << where;
+      EXPECT_EQ(r.home_shards, shards) << where;
+      EXPECT_EQ(r.results, ref.results) << where;
+      EXPECT_EQ(r.session_ms, ref.session_ms) << where;
+      EXPECT_EQ(r.segments, ref.segments) << where;
+      EXPECT_DOUBLE_EQ(r.completion_ms.p99(), ref.completion_ms.p99()) << where;
+      EXPECT_DOUBLE_EQ(r.total_ms, ref.total_ms) << where;
+      if (wallclock) {
+        EXPECT_GT(r.lock_acq, 0u) << where;
+        if (engine_acq == 0) {
+          engine_acq = r.lock_acq;
+        } else {
+          EXPECT_EQ(r.lock_acq, engine_acq) << where;
+        }
+      } else {
+        EXPECT_EQ(r.lock_acq, 0u) << where;
+      }
+    }
+  }
+}
+
 TEST(LoadGenTest, PerTenantExactlyOnceUnderWorkerLoss) {
   TraceConfig cfg;
   cfg.sessions = 32;

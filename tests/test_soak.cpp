@@ -47,6 +47,39 @@ TEST(SoakTest, OnOffChurnOnWallClockEngine) {
   for (const auto& tn : r.tenants) EXPECT_EQ(tn.completed, tn.sessions) << tn.tenant;
 }
 
+TEST(SoakTest, ShardedHomeOnWallClockEngineUnderChurn) {
+  // The churn soak again, but with the home state striped over 4 shards
+  // and a pool bigger than the worker count: ship/restore/write-back
+  // service windows of different shards genuinely overlap while workers
+  // join, drain, and die — the shape that surfaces stripe-vs-ordered
+  // lock-ordering races under TSan.  Sharding must not cost a single
+  // session or exactly-once violation.
+  TraceConfig cfg;
+  cfg.sessions = 240;
+  cfg.tenants = 6;
+  cfg.apps = 2;
+  cfg.arrival = ArrivalKind::OnOff;
+  cfg.seed = 0x50a7;
+  cfg.mean_gap = VDur::micros(400);
+  cfg.max_rounds = 2;
+  cfg.churn = 0.1;
+  cfg.failures = 3;
+  Trace tr = sod::cluster::make_trace(cfg);
+
+  LoadGenOptions opts;
+  opts.wallclock = true;
+  opts.threads = 6;
+  opts.home_shards = 4;
+  opts.segments_per_round = 2;
+  auto r = sod::cluster::run_loadgen(tr, opts);
+  EXPECT_EQ(r.completed, cfg.sessions);
+  EXPECT_TRUE(r.all_ok);
+  EXPECT_TRUE(r.exactly_once);
+  EXPECT_EQ(r.home_shards, 4);
+  EXPECT_GT(r.lock_acq, 0u);
+  for (const auto& tn : r.tenants) EXPECT_EQ(tn.completed, tn.sessions) << tn.tenant;
+}
+
 TEST(SoakTest, SustainedSoakAllApps) {
   // Constant-rate soak over the full four-app mix (statics-bearing fft and
   // tsp included) on the virtual-time scheduler: hundreds of sessions per

@@ -93,16 +93,22 @@ struct AppOutcome {
   std::multiset<std::tuple<int, int, int64_t>> completions;
   bool exactly_once = false;
   bool done = false;
+  // Home stripe telemetry (wall engine only): one entry per home shard,
+  // plus the cluster-wide acquisition count, which is deterministic for a
+  // fault-free run.
+  std::vector<mig::ShardContention> shard_stats;
+  uint64_t lock_acq = 0;
 };
 
 /// The run_table1_app round loop from the CLI driver, on either engine:
 /// threads < 0 = virtual-time Scheduler, threads >= 0 = WallClockEngine
-/// (0 = one pool thread per worker).
-AppOutcome run_app(const apps::AppSpec& spec, int threads) {
+/// (0 = one pool thread per worker).  `shards` > 0 stripes the home state.
+AppOutcome run_app(const apps::AppSpec& spec, int threads, int shards = 0) {
   bc::Program p = spec.build();
   prep::preprocess_program(p);
   Cluster c(p);
   c.add_uniform_workers(3);
+  if (shards > 0) c.set_home_shards(shards);
   auto pol = make_policy(PolicyKind::LeastLoaded);
 
   std::unique_ptr<Scheduler> sched;
@@ -138,6 +144,10 @@ AppOutcome run_app(const apps::AppSpec& spec, int threads) {
   for (const Event& e : log)
     if (e.kind == EventKind::SegmentCompleted) o.completions.emplace(e.round, e.segment, e.at.ns);
   o.exactly_once = engine ? engine->exactly_once() : sched->exactly_once();
+  if (engine) {
+    o.shard_stats = engine->shard_contention();
+    o.lock_acq = engine->total_contention().acquisitions;
+  }
   return o;
 }
 
@@ -161,6 +171,59 @@ TEST(WallClock, TableOneAppsMatchTheVirtualSchedulerBitForBit) {
       EXPECT_EQ(got.completions, ref.completions);
     }
   }
+}
+
+// ------------------------------------------------------------ home sharding
+
+TEST(WallClock, HomeShardedRunsMatchTheVirtualSchedulerBitForBit) {
+  // Striping the home state may only change wall-clock interleaving: at
+  // every shard count the engine must reproduce the virtual scheduler's
+  // results, write-back bytes, and virtual completion instants, and the
+  // stripe-acquisition total is a property of the replay, not the shard
+  // count or the interleaving.
+  const apps::AppSpec spec = apps::fib_app();
+  AppOutcome ref = run_app(spec, -1);
+  ASSERT_TRUE(ref.done);
+  ASSERT_TRUE(ref.exactly_once);
+  uint64_t acq = 0;
+  for (int shards : {1, 2, 4}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    AppOutcome got = run_app(spec, /*threads=*/4, shards);
+    ASSERT_TRUE(got.done);
+    EXPECT_TRUE(got.exactly_once);
+    EXPECT_EQ(got.result, ref.result);
+    EXPECT_EQ(got.writeback_bytes, ref.writeback_bytes);
+    EXPECT_EQ(got.completions, ref.completions);
+    ASSERT_EQ(got.shard_stats.size(), static_cast<size_t>(shards));
+    EXPECT_GT(got.lock_acq, 0u);
+    if (shards == 1) {
+      acq = got.lock_acq;
+    } else {
+      EXPECT_EQ(got.lock_acq, acq);
+    }
+  }
+}
+
+TEST(WallClock, ShardContentionCountersSumAcrossStripes) {
+  const apps::AppSpec spec = apps::fib_app();
+  AppOutcome got = run_app(spec, /*threads=*/4, /*shards=*/4);
+  ASSERT_TRUE(got.done);
+  ASSERT_EQ(got.shard_stats.size(), 4u);
+  uint64_t sum = 0;
+  int used = 0;
+  for (const mig::ShardContention& s : got.shard_stats) {
+    sum += s.acquisitions;
+    if (s.acquisitions > 0) ++used;
+    EXPECT_GE(s.acquisitions, s.contended);
+    if (s.contended == 0) {
+      EXPECT_EQ(s.wait_ns, 0u);
+    }
+    EXPECT_GE(s.wait_ns, s.max_wait_ns);
+  }
+  EXPECT_EQ(sum, got.lock_acq);
+  // The stable hash spreads the three key domains over the stripes: a
+  // 4-shard fib run must exercise more than one of them.
+  EXPECT_GT(used, 1);
 }
 
 // ------------------------------------------------------------------- stress
